@@ -1,0 +1,41 @@
+// Fig. 5 (a–e): backdoor attack success rate vs deletion rate for the
+// original (contaminated) model, Ours, B1 and B3. Paper shape: origin stays
+// high across all rates; Ours/B1/B3 collapse to near zero, with Ours lowest.
+#include "bench/common.h"
+
+namespace goldfish::bench {
+namespace {
+
+void run_dataset(data::DatasetKind kind) {
+  const long rounds = metrics::full_scale() ? 6 : 3;
+  metrics::TableReporter table(
+      std::string("Fig.5 — backdoor ASR vs deletion rate, ") +
+          data::dataset_name(kind),
+      {"rate%", "origin", "Ours", "B1", "B3"});
+  for (float rate : deletion_rates()) {
+    Scenario s = make_scenario(kind, rate,
+                               5000 + static_cast<std::uint64_t>(rate * 1e4));
+    const MethodResult origin = eval_model(s.trained, s);
+    const MethodResult ours = run_ours(s, rounds);
+    const MethodResult b1 = run_b1(s, rounds);
+    const MethodResult b3 = run_b3(s, rounds);
+    table.add_row({metrics::fmt(rate * 100, 0), metrics::fmt(origin.asr),
+                   metrics::fmt(ours.asr), metrics::fmt(b1.asr),
+                   metrics::fmt(b3.asr)});
+  }
+  table.print();
+  table.write_csv(csv_dir() + "/fig5_" +
+                  std::string(data::dataset_name(kind)) + ".csv");
+}
+
+}  // namespace
+}  // namespace goldfish::bench
+
+int main() {
+  using goldfish::data::DatasetKind;
+  goldfish::bench::print_header("Fig. 5: backdoor ASR vs deletion rate");
+  for (auto kind : {DatasetKind::Mnist, DatasetKind::FashionMnist,
+                    DatasetKind::Cifar10, DatasetKind::Cifar100})
+    goldfish::bench::run_dataset(kind);
+  return 0;
+}

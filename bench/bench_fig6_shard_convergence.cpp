@@ -1,0 +1,59 @@
+// Fig. 6: accuracy vs training round on MNIST for shard counts
+// {1,3,6,9,12,15,18}. Paper shape: more shards converge more slowly (each
+// shard model sees less data, biasing it) but all shard counts converge.
+#include "bench/common.h"
+#include "core/sharding.h"
+
+int main() {
+  using namespace goldfish;
+  using namespace goldfish::bench;
+  print_header("Fig. 6: shard-count convergence (MNIST)");
+
+  const auto prof = profile(data::DatasetKind::Mnist);
+  // Sharding divides one client's data τ ways, so per-shard sample counts
+  // must stay trainable: use a larger set with moderated noise (the paper
+  // shards a 60k-sample MNIST).
+  auto spec = data::default_spec(data::DatasetKind::Mnist, 600,
+                                 metrics::full_scale() ? 4800 : 2400,
+                                 prof.test_size);
+  spec.noise_scale = 0.6f;
+  auto tt = data::make_synthetic(spec);
+  const long rounds = metrics::full_scale() ? 12 : 8;
+  const std::vector<long> shard_counts{1, 3, 6, 9, 12, 15, 18};
+
+  std::vector<std::string> cols{"round"};
+  for (long n : shard_counts) cols.push_back("tau=" + std::to_string(n));
+  metrics::TableReporter table("Fig.6 — accuracy by shard count", cols);
+
+  // accuracy[shards][round]
+  std::vector<std::vector<double>> acc(shard_counts.size());
+  fl::ThreadPool pool;
+  for (std::size_t k = 0; k < shard_counts.size(); ++k) {
+    Rng rng(601 + static_cast<std::uint64_t>(k));
+    Rng mrng(602);
+    nn::Model init = nn::make_model(prof.arch, tt.train.geom,
+                                    tt.train.num_classes, mrng);
+    core::ShardManager mgr(init, tt.train, shard_counts[k], rng);
+    fl::TrainOptions opts;
+    opts.epochs = 1;
+    opts.batch_size = prof.batch;
+    opts.lr = prof.lr;
+    nn::Model probe_model = init;
+    for (long r = 0; r < rounds; ++r) {
+      opts.seed = 603 + static_cast<std::uint64_t>(r);
+      mgr.train_all(opts, &pool);
+      probe_model.load(mgr.aggregate());
+      acc[k].push_back(metrics::accuracy(probe_model, tt.test));
+    }
+  }
+
+  for (long r = 0; r < rounds; ++r) {
+    std::vector<std::string> row{std::to_string(r + 1)};
+    for (std::size_t k = 0; k < shard_counts.size(); ++k)
+      row.push_back(metrics::fmt(acc[k][std::size_t(r)]));
+    table.add_row(std::move(row));
+  }
+  table.print();
+  table.write_csv(csv_dir() + "/fig6_shard_convergence.csv");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 7 (a–c): accuracy across training rounds with a deletion request at
+// round 3, for deletion rates {2,6,10}% and shard counts {1,3,6,9}.
+// Paper shape: sharded clients recover faster after the deletion dip
+// because only affected shards retrain from their checkpoints; at higher
+// deletion rates more shards are hit and the advantage shrinks.
+#include "bench/common.h"
+#include "core/sharding.h"
+
+int main() {
+  using namespace goldfish;
+  using namespace goldfish::bench;
+  print_header("Fig. 7: deletion recovery by shard count (MNIST)");
+
+  const auto prof = profile(data::DatasetKind::Mnist);
+  // Same sizing rationale as Fig. 6: shards need enough rows to train.
+  auto spec = data::default_spec(data::DatasetKind::Mnist, 700,
+                                 metrics::full_scale() ? 4800 : 2400,
+                                 prof.test_size);
+  spec.noise_scale = 0.6f;
+  auto tt = data::make_synthetic(spec);
+  const long rounds = metrics::full_scale() ? 10 : 7;
+  const long deletion_round = 3;
+  const std::vector<long> shard_counts{1, 3, 6, 9};
+  fl::ThreadPool pool;
+
+  for (float rate : {0.02f, 0.06f, 0.10f}) {
+    std::vector<std::string> cols{"round"};
+    for (long n : shard_counts) cols.push_back("tau=" + std::to_string(n));
+    metrics::TableReporter table(
+        "Fig.7 — accuracy around deletion at round 3, rate " +
+            metrics::fmt(rate * 100, 0) + "%",
+        cols);
+
+    std::vector<std::vector<double>> acc(shard_counts.size());
+    for (std::size_t k = 0; k < shard_counts.size(); ++k) {
+      Rng rng(701 + static_cast<std::uint64_t>(k));
+      Rng mrng(702);
+      nn::Model init = nn::make_model(prof.arch, tt.train.geom,
+                                      tt.train.num_classes, mrng);
+      core::ShardManager mgr(init, tt.train, shard_counts[k], rng);
+      fl::TrainOptions opts;
+      opts.epochs = 1;
+      opts.batch_size = prof.batch;
+      opts.lr = prof.lr;
+
+      // Deletion target: one user's data is colocated, so the removed rows
+      // occupy as few shards as possible (at 2% that is a single shard —
+      // exactly the regime where the paper says sharding wins).
+      const long n_delete = static_cast<long>(rate * float(tt.train.size()));
+      std::vector<std::size_t> doomed;
+      for (long shard = 0;
+           shard < shard_counts[k] &&
+           static_cast<long>(doomed.size()) < n_delete;
+           ++shard) {
+        for (std::size_t row : mgr.shard_row_ids(shard)) {
+          if (static_cast<long>(doomed.size()) >= n_delete) break;
+          doomed.push_back(row);
+        }
+      }
+
+      nn::Model probe_model = init;
+      for (long r = 0; r < rounds; ++r) {
+        opts.seed = 703 + static_cast<std::uint64_t>(r);
+        if (r == deletion_round) {
+          // Deletion resets affected shards to ω0 (their old weights carry
+          // the removed rows' influence); retraining resumes next round, so
+          // this round's accuracy shows the dip whose depth shrinks as τ
+          // grows — non-sharded clients lose the whole model, sharded ones
+          // only the affected fraction (Eq. 9).
+          fl::TrainOptions reset_only = opts;
+          reset_only.epochs = 0;
+          mgr.delete_rows(doomed, reset_only, &pool);
+        } else {
+          mgr.train_all(opts, &pool);
+        }
+        probe_model.load(mgr.aggregate());
+        acc[k].push_back(metrics::accuracy(probe_model, tt.test));
+      }
+    }
+
+    for (long r = 0; r < rounds; ++r) {
+      std::vector<std::string> row{std::to_string(r + 1)};
+      for (std::size_t k = 0; k < shard_counts.size(); ++k)
+        row.push_back(metrics::fmt(acc[k][std::size_t(r)]));
+      table.add_row(std::move(row));
+    }
+    table.print();
+    table.write_csv(csv_dir() + "/fig7_rate" +
+                    metrics::fmt(rate * 100, 0) + ".csv");
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Micro-benchmarks of the hot kernels (google-benchmark): matmul, im2col
+// convolution lowering, softmax family, and the Goldfish loss terms. These
+// are the cost drivers of every experiment above.
+#include <benchmark/benchmark.h>
+
+#include "losses/distillation.h"
+#include "losses/goldfish_loss.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace goldfish {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTn(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul_tn(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatmulTn)->Arg(128);
+
+void BM_Im2col(benchmark::State& state) {
+  Conv2dGeom g{3, 32, 32, 3, 1, 1};
+  Rng rng(3);
+  Tensor img = Tensor::randn({16, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor cols = im2col(img, g);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::Conv2d conv(3, 16, 3, 1, 1, 32, 32, rng);
+  Tensor x = Tensor::randn({16, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  Rng rng(5);
+  nn::Conv2d conv(3, 16, 3, 1, 1, 32, 32, rng);
+  Tensor x = Tensor::randn({16, 3, 32, 32}, rng);
+  Tensor y = conv.forward(x, true);
+  Tensor g = Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    Tensor gin = conv.backward(g);
+    benchmark::DoNotOptimize(gin.data());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_LinearForward(benchmark::State& state) {
+  Rng rng(6);
+  nn::Linear fc(784, 128, rng);
+  Tensor x = Tensor::randn({100, 784}, rng);
+  for (auto _ : state) {
+    Tensor y = fc.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LinearForward);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(7);
+  Tensor z = Tensor::randn({256, 100}, rng);
+  for (auto _ : state) {
+    Tensor p = softmax_rows(z, 3.0f);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_DistillationLoss(benchmark::State& state) {
+  Rng rng(8);
+  Tensor t = Tensor::randn({100, 10}, rng);
+  Tensor s = Tensor::randn({100, 10}, rng);
+  for (auto _ : state) {
+    auto r = losses::distillation_loss(t, s, 3.0f);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_DistillationLoss);
+
+void BM_ConfusionLoss(benchmark::State& state) {
+  Rng rng(9);
+  Tensor s = Tensor::randn({100, 10}, rng);
+  for (auto _ : state) {
+    auto r = losses::confusion_loss(s);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_ConfusionLoss);
+
+void BM_GoldfishCompositeLoss(benchmark::State& state) {
+  Rng rng(10);
+  Tensor sr = Tensor::randn({100, 10}, rng);
+  Tensor tr = Tensor::randn({100, 10}, rng);
+  Tensor sf = Tensor::randn({20, 10}, rng);
+  std::vector<long> yr(100), yf(20);
+  for (std::size_t i = 0; i < 100; ++i) yr[i] = long(i % 10);
+  for (std::size_t i = 0; i < 20; ++i) yf[i] = long(i % 10);
+  losses::GoldfishLoss loss;
+  for (auto _ : state) {
+    auto r = loss.eval(sr, yr, tr, sf, yf);
+    benchmark::DoNotOptimize(r.total);
+  }
+}
+BENCHMARK(BM_GoldfishCompositeLoss);
+
+}  // namespace
+}  // namespace goldfish
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Tables III–VI: test accuracy and backdoor ASR per deletion rate for
+// origin / Ours / B1 / B3 on MNIST, FMNIST, CIFAR-10, CIFAR-100.
+// Paper shape: origin has lower accuracy and very high ASR; the three
+// unlearning methods restore accuracy and collapse ASR, with Ours keeping
+// accuracy closest to (or above) B1 at a consistently low ASR.
+#include "bench/common.h"
+
+namespace goldfish::bench {
+namespace {
+
+const char* table_number(data::DatasetKind kind) {
+  switch (kind) {
+    case data::DatasetKind::Mnist:
+      return "III";
+    case data::DatasetKind::FashionMnist:
+      return "IV";
+    case data::DatasetKind::Cifar10:
+      return "V";
+    case data::DatasetKind::Cifar100:
+      return "VI";
+  }
+  return "?";
+}
+
+void run_dataset(data::DatasetKind kind) {
+  const long rounds = metrics::full_scale() ? 6 : 3;
+  metrics::TableReporter table(
+      std::string("Table ") + table_number(kind) + " — acc / backdoor, " +
+          data::dataset_name(kind),
+      {"rate%", "origin acc", "origin bd", "Ours acc", "Ours bd", "B1 acc",
+       "B1 bd", "B3 acc", "B3 bd"});
+  for (float rate : deletion_rates()) {
+    Scenario s = make_scenario(kind, rate,
+                               6000 + static_cast<std::uint64_t>(rate * 1e4));
+    const MethodResult origin = eval_model(s.trained, s);
+    const MethodResult ours = run_ours(s, rounds);
+    const MethodResult b1 = run_b1(s, rounds);
+    const MethodResult b3 = run_b3(s, rounds);
+    table.add_row({metrics::fmt(rate * 100, 0), metrics::fmt(origin.accuracy),
+                   metrics::fmt(origin.asr), metrics::fmt(ours.accuracy),
+                   metrics::fmt(ours.asr), metrics::fmt(b1.accuracy),
+                   metrics::fmt(b1.asr), metrics::fmt(b3.accuracy),
+                   metrics::fmt(b3.asr)});
+  }
+  table.print();
+  table.write_csv(csv_dir() + "/table" + table_number(kind) + "_" +
+                  data::dataset_name(kind) + ".csv");
+}
+
+}  // namespace
+}  // namespace goldfish::bench
+
+int main() {
+  using goldfish::data::DatasetKind;
+  goldfish::bench::print_header(
+      "Tables III–VI: accuracy & backdoor ASR per deletion rate");
+  for (auto kind : {DatasetKind::Mnist, DatasetKind::FashionMnist,
+                    DatasetKind::Cifar10, DatasetKind::Cifar100})
+    goldfish::bench::run_dataset(kind);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Scenario example: removing a backdoor attack via federated unlearning —
+// the paper's validity experiment (§IV-B) as a standalone application.
+//
+// A malicious client poisons 20% of its local data with a pixel trigger that
+// flips predictions to a target class. After federated training the global
+// model carries the backdoor. The client's poisoned samples are then deleted
+// via Goldfish, and we compare against B1 (retrain from scratch) and B3
+// (incompetent teacher) on attack success rate and accuracy.
+//
+// Run: ./build/examples/backdoor_unlearning
+#include <iostream>
+#include <set>
+
+#include "baselines/incompetent_teacher.h"
+#include "baselines/retrain_scratch.h"
+#include "core/unlearner.h"
+#include "data/backdoor.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/evaluation.h"
+#include "metrics/report.h"
+#include "nn/models.h"
+
+int main() {
+  using namespace goldfish;
+  std::cout << "== Backdoor unlearning demo ==\n";
+
+  // Federated dataset; client 0 is the attacker.
+  auto tt = data::make_synthetic(
+      data::default_spec(data::DatasetKind::Mnist, 7, 600, 200));
+  Rng rng(8);
+  auto clients = data::partition_iid(tt.train, 3, rng);
+
+  data::BackdoorSpec attack;
+  attack.target_label = 0;
+  attack.patch = 4;
+  auto poisoned = data::poison_dataset(clients[0], attack, 0.20f, rng);
+  clients[0] = poisoned.poisoned;
+  const data::Dataset probe = data::make_trigger_probe(tt.test, attack);
+  std::cout << "client 0 poisoned " << poisoned.poisoned_indices.size()
+            << " of " << clients[0].size() << " samples (target label "
+            << attack.target_label << ")\n";
+
+  // Train the (contaminated) global model.
+  Rng mrng(9);
+  nn::Model fresh = nn::make_mlp(tt.train.geom, 64, 10, mrng);
+  nn::Model global = fresh;
+  fl::FlConfig flcfg;
+  flcfg.local.epochs = 4;
+  flcfg.local.batch_size = 50;
+  flcfg.local.lr = 0.05f;
+  fl::FederatedSim sim(global, clients, tt.test, flcfg);
+  sim.run(6);
+  global = sim.global_model();
+
+  const auto report = [&](const char* name, nn::Model& m) {
+    std::cout << "  " << name << ": accuracy "
+              << metrics::fmt(metrics::accuracy(m, tt.test)) << "%, ASR "
+              << metrics::fmt(metrics::attack_success_rate(m, probe))
+              << "%\n";
+  };
+  std::cout << "before unlearning:\n";
+  report("origin (contaminated)", global);
+
+  // Remaining/removed split for the baselines.
+  std::vector<std::size_t> keep;
+  {
+    std::set<std::size_t> bad(poisoned.poisoned_indices.begin(),
+                              poisoned.poisoned_indices.end());
+    for (long i = 0; i < clients[0].size(); ++i)
+      if (bad.count(static_cast<std::size_t>(i)) == 0)
+        keep.push_back(static_cast<std::size_t>(i));
+  }
+  std::vector<data::Dataset> remaining = clients;
+  remaining[0] = clients[0].subset(keep);
+  std::vector<data::Dataset> removed(clients.size());
+  removed[0] = clients[0].subset(poisoned.poisoned_indices);
+
+  std::cout << "after unlearning:\n";
+
+  // Goldfish (ours).
+  core::UnlearnConfig cfg;
+  cfg.distill.max_epochs = 5;
+  cfg.distill.batch_size = 50;
+  cfg.distill.lr = 0.05f;
+  cfg.distill.use_early_termination = false;
+  core::GoldfishUnlearner unlearner(global, fresh, clients, tt.test, cfg);
+  unlearner.request_deletion({{0, poisoned.poisoned_indices}});
+  unlearner.run(3);
+  report("Goldfish (ours)", unlearner.global_model());
+
+  // B1: retrain from scratch.
+  fl::FlConfig b1cfg = flcfg;
+  nn::Model b1;
+  baselines::retrain_from_scratch(fresh, remaining, tt.test, b1cfg, 6, &b1);
+  report("B1 retrain", b1);
+
+  // B3: incompetent teacher.
+  baselines::IncompetentTeacherConfig b3cfg;
+  b3cfg.fl.local.epochs = 4;
+  b3cfg.fl.local.batch_size = 50;
+  b3cfg.fl.local.lr = 0.05f;
+  b3cfg.forget_weight = 2.0f;
+  Rng irng(10);
+  nn::Model incompetent = nn::make_mlp(tt.train.geom, 64, 10, irng);
+  nn::Model b3;
+  baselines::incompetent_teacher_unlearn(global, incompetent, remaining,
+                                         removed, tt.test, b3cfg, 3, &b3);
+  report("B3 incompetent teacher", b3);
+
+  std::cout << "expected shape: origin keeps a high ASR; all three "
+               "unlearning methods collapse it, Goldfish at the best "
+               "accuracy/rounds trade-off.\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "baselines/retrain_scratch.h"
+
+namespace goldfish::baselines {
+
+std::vector<fl::RoundResult> retrain_from_scratch(
+    const nn::Model& fresh_init, std::vector<data::Dataset> remaining,
+    data::Dataset server_test, const fl::FlConfig& cfg, long rounds,
+    nn::Model* model_out) {
+  fl::FederatedSim sim(fresh_init, std::move(remaining),
+                       std::move(server_test), cfg);
+  std::vector<fl::RoundResult> results = sim.run(rounds);
+  if (model_out != nullptr) *model_out = sim.global_model();
+  return results;
+}
+
+}  // namespace goldfish::baselines

@@ -1,0 +1,21 @@
+#include "core/adaptive_temperature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace goldfish::core {
+
+float AdaptiveTemperature::operator()(long remaining_size,
+                                      long removed_size) const {
+  GOLDFISH_CHECK(remaining_size >= 0 && removed_size >= 0,
+                 "negative dataset size");
+  GOLDFISH_CHECK(remaining_size + removed_size > 0, "empty client dataset");
+  const float frac = static_cast<float>(remaining_size) /
+                     static_cast<float>(remaining_size + removed_size);
+  const float t = alpha * t0 * std::exp(-frac);
+  return std::max(t, min_temperature);
+}
+
+}  // namespace goldfish::core

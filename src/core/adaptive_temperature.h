@@ -1,0 +1,26 @@
+// Adaptive distillation temperature (Eq. 11, extension module):
+//
+//   T = α·T0·exp( −|D_r| / (|D_r| + |D_f|) )
+//
+// Clients whose removed set is a larger fraction of their data get a higher
+// temperature (smoother teacher targets → more transferable dark knowledge),
+// which compensates for the heterogeneity of local data.
+#pragma once
+
+namespace goldfish::core {
+
+struct AdaptiveTemperature {
+  float t0 = 3.0f;  ///< initial temperature T0 (paper experiments use 3)
+  /// Adjustment factor α. Default e so that a client with |D_f| → 0 gets
+  /// exactly T0 (exponent → −1 cancels α = e); larger deletion fractions
+  /// then raise T smoothly up to α·T0.
+  float alpha = 2.718281828f;
+  /// Floor: the paper notes T ≤ 1 degrades soft labels into hard labels, so
+  /// we never go below it.
+  float min_temperature = 1.0f;
+
+  /// Temperature for a client with the given remaining/removed sizes.
+  float operator()(long remaining_size, long removed_size) const;
+};
+
+}  // namespace goldfish::core

@@ -1,0 +1,90 @@
+#include "core/distill_trainer.h"
+
+#include "core/early_termination.h"
+#include "fl/trainer.h"
+#include "nn/sgd.h"
+#include "tensor/check.h"
+
+namespace goldfish::core {
+
+float reference_loss_of(nn::Model& prev_global, const data::Dataset& d_r,
+                        const DistillOptions& opts) {
+  const auto hard = losses::make_hard_loss(opts.loss.hard_loss_name);
+  return fl::dataset_loss(prev_global, d_r, *hard);
+}
+
+DistillResult goldfish_distill(nn::Model& student, nn::Model& teacher,
+                               const data::Dataset& d_r,
+                               const data::Dataset& d_f, float reference_loss,
+                               const DistillOptions& opts) {
+  GOLDFISH_CHECK(!d_r.empty(), "remaining dataset is empty");
+
+  // Extension module: per-client temperature from the deletion fraction.
+  losses::GoldfishLossConfig loss_cfg = opts.loss;
+  if (opts.use_adaptive_temperature)
+    loss_cfg.temperature = opts.temperature(d_r.size(), d_f.size());
+  const losses::GoldfishLoss loss(loss_cfg);
+
+  nn::Sgd::Options sgd_opts;
+  sgd_opts.lr = opts.lr;
+  sgd_opts.momentum = opts.momentum;
+  nn::Sgd sgd(sgd_opts);
+  Rng rng(opts.seed);
+
+  ExcessRiskTracker tracker(reference_loss, opts.delta);
+  DistillResult result;
+  result.temperature_used = loss_cfg.temperature;
+
+  const bool have_forget = !d_f.empty();
+  for (long epoch = 0; epoch < opts.max_epochs; ++epoch) {
+    data::BatchIterator it_r(d_r, opts.batch_size, rng);
+    // The removed set is small (|D_r| ≫ |D_f|); cycle its batches so every
+    // remaining-data batch is paired with forget pressure.
+    data::BatchIterator it_f(have_forget ? d_f : d_r, opts.batch_size, rng);
+    const std::size_t f_batches = have_forget ? it_f.num_batches() : 0;
+
+    double epoch_loss = 0.0;
+    double epoch_hard = 0.0;  // comparable to the reference (both are the
+                              // plain hard loss on D_r, per Eq. 7)
+    for (std::size_t b = 0; b < it_r.num_batches(); ++b) {
+      double step_loss = 0.0;
+      // Remaining-data pass: hard loss + distillation from the teacher.
+      {
+        auto [x, y] = d_r.batch(it_r.batch_indices(b));
+        const Tensor teacher_logits = teacher.forward(x, /*train=*/false);
+        const Tensor student_logits = student.forward(x, /*train=*/true);
+        const losses::GoldfishBatchLoss lr =
+            loss.eval_remaining(student_logits, y, teacher_logits);
+        student.backward(lr.grad_r);
+        step_loss += lr.total;
+        epoch_hard += lr.hard_r;
+      }
+      // Removed-data pass: −L_f (saturated) + confusion loss.
+      if (have_forget) {
+        auto [xf, yf] = d_f.batch(it_f.batch_indices(b % f_batches));
+        const Tensor student_logits_f = student.forward(xf, /*train=*/true);
+        const losses::GoldfishBatchLoss lf =
+            loss.eval_forget(student_logits_f, yf);
+        student.backward(lf.grad_f);
+        step_loss += lf.total;
+      }
+      sgd.step(student);
+      epoch_loss += step_loss;
+    }
+    const float mean_loss =
+        static_cast<float>(epoch_loss / double(it_r.num_batches()));
+    result.epoch_losses.push_back(mean_loss);
+    ++result.epochs_run;
+
+    tracker.record_epoch(
+        static_cast<float>(epoch_hard / double(it_r.num_batches())));
+    if (opts.use_early_termination && tracker.should_stop()) {
+      result.terminated_early = true;
+      break;
+    }
+  }
+  result.final_excess_risk = tracker.excess_risk();
+  return result;
+}
+
+}  // namespace goldfish::core

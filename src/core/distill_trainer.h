@@ -1,0 +1,53 @@
+// The Goldfish procedure (Algorithm 1, lines 24–35): knowledge-distillation
+// retraining of a student model against a fixed teacher, with the composite
+// loss of Eq. 1–6, adaptive temperature (Eq. 11), and early termination by
+// excess empirical risk (Eq. 7).
+#pragma once
+
+#include "core/adaptive_temperature.h"
+#include "data/dataset.h"
+#include "losses/goldfish_loss.h"
+#include "nn/model.h"
+
+namespace goldfish::core {
+
+struct DistillOptions {
+  long max_epochs = 5;    ///< n in Algorithm 1 (upper bound when early
+                          ///< termination is enabled)
+  long batch_size = 100;  ///< paper: B = 100
+  float lr = 0.001f;      ///< paper: η = 0.001
+  float momentum = 0.9f;  ///< paper: β = 0.9
+  losses::GoldfishLossConfig loss;
+  /// Extension module: adapt T to the client's deletion fraction (Eq. 11).
+  bool use_adaptive_temperature = true;
+  AdaptiveTemperature temperature;
+  /// Optimization module: stop when excess empirical risk ≤ delta (Eq. 7).
+  bool use_early_termination = true;
+  float delta = 0.05f;
+  std::uint64_t seed = 1;
+};
+
+struct DistillResult {
+  std::vector<float> epoch_losses;  ///< student total loss per local epoch
+  long epochs_run = 0;
+  bool terminated_early = false;
+  float final_excess_risk = 0.0f;
+  float temperature_used = 0.0f;
+};
+
+/// Run the Goldfish local update. `teacher` provides soft targets (its
+/// weights are never modified; non-const because forward passes mutate layer
+/// caches). `reference_loss` is L(ω^{t−1}) for Eq. 7 — pass the teacher's
+/// hard loss on d_r (helper below). `d_f` may be empty (normal clients,
+/// Algorithm 1 line 32).
+DistillResult goldfish_distill(nn::Model& student, nn::Model& teacher,
+                               const data::Dataset& d_r,
+                               const data::Dataset& d_f, float reference_loss,
+                               const DistillOptions& opts);
+
+/// L(ω^{t−1}): the previous global model's hard loss on the remaining data,
+/// the reference point of the early-termination criterion.
+float reference_loss_of(nn::Model& prev_global, const data::Dataset& d_r,
+                        const DistillOptions& opts);
+
+}  // namespace goldfish::core

@@ -1,0 +1,33 @@
+#include "core/early_termination.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/check.h"
+
+namespace goldfish::core {
+
+ExcessRiskTracker::ExcessRiskTracker(float reference_loss, float delta)
+    : reference_(reference_loss), delta_(delta) {
+  GOLDFISH_CHECK(delta >= 0.0f, "delta must be non-negative");
+  GOLDFISH_CHECK(std::isfinite(reference_loss), "non-finite reference loss");
+}
+
+void ExcessRiskTracker::record_epoch(float loss) {
+  GOLDFISH_CHECK(std::isfinite(loss), "non-finite epoch loss");
+  losses_.push_back(loss);
+}
+
+float ExcessRiskTracker::excess_risk() const {
+  if (losses_.empty()) return std::numeric_limits<float>::infinity();
+  double mean = 0.0;
+  for (float l : losses_) mean += l;
+  mean /= double(losses_.size());
+  return static_cast<float>(std::fabs(mean - double(reference_)));
+}
+
+bool ExcessRiskTracker::should_stop() const {
+  return excess_risk() <= delta_;
+}
+
+}  // namespace goldfish::core

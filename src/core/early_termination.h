@@ -1,0 +1,40 @@
+// Early termination guided by excess empirical risk (Eq. 7):
+//
+//   err(ω_c^t, ω^{t−1}) = | (1/n)·Σᵢ L(ω_c^t(i)) − L(ω^{t−1}) |
+//
+// Local training stops once the running mean of the student's per-epoch
+// losses is within δ of the previous global model's loss — the student has
+// re-converged to the teacher's risk level and further epochs are wasted.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace goldfish::core {
+
+class ExcessRiskTracker {
+ public:
+  /// `reference_loss` is L(ω^{t−1}) — the previous global model's loss on
+  /// the client's (remaining) data; δ is the stopping threshold.
+  ExcessRiskTracker(float reference_loss, float delta);
+
+  /// Record the loss of one completed local epoch (L(ω_c^t(i))).
+  void record_epoch(float loss);
+
+  /// Current excess empirical risk; +inf before any epoch is recorded.
+  float excess_risk() const;
+
+  /// True once excess_risk() ≤ δ.
+  bool should_stop() const;
+
+  std::size_t epochs_recorded() const { return losses_.size(); }
+  float reference_loss() const { return reference_; }
+  float delta() const { return delta_; }
+
+ private:
+  float reference_;
+  float delta_;
+  std::vector<float> losses_;
+};
+
+}  // namespace goldfish::core

@@ -1,0 +1,117 @@
+#include "core/unlearner.h"
+
+#include <atomic>
+
+#include "metrics/evaluation.h"
+#include "tensor/serialize.h"
+
+namespace goldfish::core {
+
+GoldfishUnlearner::GoldfishUnlearner(nn::Model global, nn::Model fresh_init,
+                                     std::vector<data::Dataset> client_data,
+                                     data::Dataset server_test,
+                                     UnlearnConfig cfg)
+    : teacher_(std::move(global)),
+      global_(std::move(fresh_init)),
+      remaining_(std::move(client_data)),
+      test_(std::move(server_test)),
+      cfg_(std::move(cfg)),
+      aggregator_(fl::make_aggregator(cfg_.aggregator)),
+      pool_(cfg_.threads) {
+  GOLDFISH_CHECK(!remaining_.empty(), "unlearner needs clients");
+  removed_.resize(remaining_.size());
+}
+
+void GoldfishUnlearner::request_deletion(
+    const std::vector<UnlearnRequest>& requests) {
+  for (const UnlearnRequest& req : requests) {
+    GOLDFISH_CHECK(req.client_id < remaining_.size(),
+                   "deletion request for unknown client");
+    data::Dataset& local = remaining_[req.client_id];
+    std::vector<bool> is_removed(static_cast<std::size_t>(local.size()),
+                                 false);
+    for (std::size_t r : req.rows) {
+      GOLDFISH_CHECK(r < static_cast<std::size_t>(local.size()),
+                     "deletion row out of range");
+      is_removed[r] = true;
+    }
+    std::vector<std::size_t> keep, drop;
+    for (std::size_t i = 0; i < is_removed.size(); ++i)
+      (is_removed[i] ? drop : keep).push_back(i);
+    GOLDFISH_CHECK(!keep.empty(), "client would have no remaining data");
+    data::Dataset removed = local.subset(drop);
+    data::Dataset kept = local.subset(keep);
+    removed_[req.client_id] =
+        data::Dataset::concat(removed_[req.client_id], removed);
+    remaining_[req.client_id] = std::move(kept);
+  }
+}
+
+const data::Dataset& GoldfishUnlearner::removed_data(
+    std::size_t client) const {
+  GOLDFISH_CHECK(client < removed_.size(), "client out of range");
+  return removed_[client];
+}
+
+const data::Dataset& GoldfishUnlearner::remaining_data(
+    std::size_t client) const {
+  GOLDFISH_CHECK(client < remaining_.size(), "client out of range");
+  return remaining_[client];
+}
+
+UnlearnRoundResult GoldfishUnlearner::run_round() {
+  const std::size_t n = remaining_.size();
+  std::vector<fl::ClientUpdate> updates(n);
+  std::atomic<long> epochs{0};
+  std::atomic<long> early{0};
+  std::vector<double> temps(n, 0.0);
+
+  pool_.parallel_map(n, [&](std::size_t c) {
+    // Student starts from the current (re-initialized / partially rebuilt)
+    // global model; teacher is the frozen pre-unlearning model. Each client
+    // gets its own teacher replica: forward passes mutate layer caches, so
+    // sharing one teacher across threads would race.
+    nn::Model student = global_;
+    nn::Model teacher = teacher_;
+    DistillOptions opts = cfg_.distill;
+    opts.seed = cfg_.seed ^ (0xC0FFEEull * (c + 1)) ^
+                static_cast<std::uint64_t>(round_);
+    const float ref = reference_loss_of(teacher, remaining_[c], opts);
+    const DistillResult res = goldfish_distill(
+        student, teacher, remaining_[c], removed_[c], ref, opts);
+    epochs.fetch_add(res.epochs_run, std::memory_order_relaxed);
+    if (res.terminated_early) early.fetch_add(1, std::memory_order_relaxed);
+    temps[c] = res.temperature_used;
+
+    updates[c].params = roundtrip_through_bytes(student.snapshot(), nullptr);
+    updates[c].dataset_size = remaining_[c].size();
+  });
+
+  if (aggregator_->name() == "adaptive") {
+    pool_.parallel_map(n, [&](std::size_t c) {
+      nn::Model scratch = global_;
+      scratch.load(updates[c].params);
+      updates[c].mse = metrics::mse(scratch, test_);
+    });
+  }
+  global_.load(aggregator_->aggregate(updates));
+
+  UnlearnRoundResult r;
+  r.round = round_++;
+  r.global_accuracy = metrics::accuracy(global_, test_);
+  r.total_epochs_run = epochs.load();
+  r.clients_terminated_early = early.load();
+  double tsum = 0.0;
+  for (double t : temps) tsum += t;
+  r.mean_temperature = tsum / double(n);
+  return r;
+}
+
+std::vector<UnlearnRoundResult> GoldfishUnlearner::run(long rounds) {
+  std::vector<UnlearnRoundResult> out;
+  out.reserve(static_cast<std::size_t>(rounds));
+  for (long i = 0; i < rounds; ++i) out.push_back(run_round());
+  return out;
+}
+
+}  // namespace goldfish::core

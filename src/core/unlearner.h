@@ -1,0 +1,74 @@
+// Top-level Goldfish federated unlearning (Algorithm 1).
+//
+// On a deletion request the trained-but-contaminated global model becomes
+// the *teacher*; the global model is re-initialized (ω ← ω0) and every
+// client then runs the Goldfish distillation procedure — unlearned clients
+// with their (D_r, D_f) split, normal clients with D_f = ∅ — after which the
+// server aggregates with adaptive weights (Eq. 12–13). Accuracy recovers at
+// distillation speed while D_f's influence is never transferred.
+#pragma once
+
+#include "core/distill_trainer.h"
+#include "fl/simulation.h"
+
+namespace goldfish::core {
+
+/// One client's deletion request: rows (indices into that client's local
+/// dataset) to forget.
+struct UnlearnRequest {
+  std::size_t client_id = 0;
+  std::vector<std::size_t> rows;
+};
+
+struct UnlearnConfig {
+  DistillOptions distill;
+  std::string aggregator = "adaptive";  ///< extension module default
+  std::size_t threads = 0;
+  std::uint64_t seed = 17;
+};
+
+/// Telemetry per unlearning round.
+struct UnlearnRoundResult {
+  long round = 0;
+  double global_accuracy = 0.0;
+  long total_epochs_run = 0;       ///< Σ over clients (early term. shrinks it)
+  long clients_terminated_early = 0;
+  double mean_temperature = 0.0;   ///< mean adaptive temperature across clients
+};
+
+class GoldfishUnlearner {
+ public:
+  /// `global` must be the *trained* federated model (it becomes the
+  /// teacher); `fresh_init` is ω0, the re-initialized starting point.
+  GoldfishUnlearner(nn::Model global, nn::Model fresh_init,
+                    std::vector<data::Dataset> client_data,
+                    data::Dataset server_test, UnlearnConfig cfg);
+
+  /// Register deletion requests (splits the clients' data into D_r / D_f).
+  void request_deletion(const std::vector<UnlearnRequest>& requests);
+
+  /// Run one synchronous unlearning round (all clients distill in parallel,
+  /// then adaptive aggregation).
+  UnlearnRoundResult run_round();
+
+  /// Run `rounds` rounds.
+  std::vector<UnlearnRoundResult> run(long rounds);
+
+  nn::Model& global_model() { return global_; }
+  nn::Model& teacher_model() { return teacher_; }
+  const data::Dataset& removed_data(std::size_t client) const;
+  const data::Dataset& remaining_data(std::size_t client) const;
+
+ private:
+  nn::Model teacher_;  // pre-unlearning global model (knowledge source)
+  nn::Model global_;   // re-initialized, being rebuilt
+  std::vector<data::Dataset> remaining_;
+  std::vector<data::Dataset> removed_;
+  data::Dataset test_;
+  UnlearnConfig cfg_;
+  std::unique_ptr<fl::Aggregator> aggregator_;
+  fl::ThreadPool pool_;
+  long round_ = 0;
+};
+
+}  // namespace goldfish::core

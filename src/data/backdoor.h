@@ -1,0 +1,44 @@
+// Backdoor attack machinery — the paper's unlearning-validity probe (§IV-A,
+// following Wu et al.'s federated-unlearning-with-distillation protocol).
+//
+// A pixel-pattern trigger is stamped onto a fraction of one client's samples
+// and those samples are relabeled to a target class. After training, the
+// model misclassifies any triggered input as the target → high attack
+// success rate (ASR). A valid unlearning run removes exactly those samples,
+// and ASR collapses.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace goldfish::data {
+
+struct BackdoorSpec {
+  long target_label = 0;
+  long patch = 3;          ///< trigger is a patch×patch corner block
+  float trigger_value = 2.5f;  ///< well outside the clean pixel range
+};
+
+/// Stamp the trigger onto one flat feature row (all channels).
+void stamp_trigger(float* row, const nn::InputGeom& geom,
+                   const BackdoorSpec& spec);
+
+/// Result of poisoning: the dataset with triggers applied in-place on the
+/// chosen rows, plus the indices of those rows (they become D_f when the
+/// deletion request arrives).
+struct PoisonResult {
+  Dataset poisoned;
+  std::vector<std::size_t> poisoned_indices;
+};
+
+/// Poison `fraction` of the dataset: trigger stamped, label switched to the
+/// target. Rows are chosen uniformly among samples whose label differs from
+/// the target (stamping a target-labeled row teaches nothing).
+PoisonResult poison_dataset(const Dataset& clean, const BackdoorSpec& spec,
+                            float fraction, Rng& rng);
+
+/// Build the ASR probe set: every test sample whose true label differs from
+/// the target gets the trigger; ASR = fraction the model then classifies as
+/// the target label.
+Dataset make_trigger_probe(const Dataset& test, const BackdoorSpec& spec);
+
+}  // namespace goldfish::data

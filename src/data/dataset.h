@@ -1,0 +1,54 @@
+// In-memory labeled dataset and batching utilities.
+#pragma once
+
+#include <vector>
+
+#include "nn/models.h"
+#include "tensor/tensor.h"
+
+namespace goldfish::data {
+
+/// Flat-feature labeled dataset. Features are (N, D) with D = C·H·W; the
+/// geometry is carried along so conv models can unflatten.
+struct Dataset {
+  Tensor features;           // (N, D)
+  std::vector<long> labels;  // N entries in [0, num_classes)
+  long num_classes = 0;
+  nn::InputGeom geom;
+
+  long size() const { return features.empty() ? 0 : features.dim(0); }
+  bool empty() const { return size() == 0; }
+
+  /// Row-subset copy (order follows `indices`).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Concatenation (schemas must match).
+  static Dataset concat(const Dataset& a, const Dataset& b);
+
+  /// Extract a feature batch + labels for the given rows.
+  std::pair<Tensor, std::vector<long>> batch(
+      const std::vector<std::size_t>& indices) const;
+
+  /// Per-class sample counts (histogram of labels).
+  std::vector<long> class_histogram() const;
+};
+
+/// Iterate a dataset in shuffled mini-batches of size `batch_size`
+/// (final partial batch included).
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& ds, long batch_size, Rng& rng);
+
+  /// Number of batches in one epoch.
+  std::size_t num_batches() const;
+
+  /// Index list of batch b (0-based).
+  std::vector<std::size_t> batch_indices(std::size_t b) const;
+
+ private:
+  const Dataset* ds_;
+  long batch_size_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace goldfish::data

@@ -1,0 +1,147 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace goldfish::data {
+
+std::vector<Dataset> partition_iid(const Dataset& ds, long num_clients,
+                                   Rng& rng) {
+  GOLDFISH_CHECK(num_clients > 0, "need at least one client");
+  GOLDFISH_CHECK(ds.size() >= num_clients, "fewer samples than clients");
+  auto perm = random_permutation(static_cast<std::size_t>(ds.size()), rng);
+  std::vector<Dataset> parts;
+  parts.reserve(static_cast<std::size_t>(num_clients));
+  const std::size_t per = perm.size() / static_cast<std::size_t>(num_clients);
+  std::size_t cursor = 0;
+  for (long c = 0; c < num_clients; ++c) {
+    const std::size_t take =
+        (c == num_clients - 1) ? perm.size() - cursor : per;
+    std::vector<std::size_t> idx(perm.begin() + static_cast<long>(cursor),
+                                 perm.begin() +
+                                     static_cast<long>(cursor + take));
+    parts.push_back(ds.subset(idx));
+    cursor += take;
+  }
+  return parts;
+}
+
+std::vector<Dataset> partition_heterogeneous(const Dataset& ds,
+                                             long num_clients,
+                                             const HeteroOptions& opt,
+                                             Rng& rng) {
+  GOLDFISH_CHECK(num_clients > 0, "need at least one client");
+  GOLDFISH_CHECK(ds.size() >= num_clients * opt.min_per_client,
+                 "dataset too small for the per-client minimum");
+
+  // Draw heavy-tailed size weights.
+  std::vector<double> w(static_cast<std::size_t>(num_clients));
+  double total = 0.0;
+  for (double& x : w) {
+    x = std::pow(double(rng.uniform()) + 1e-6, double(opt.size_skew));
+    total += x;
+  }
+  const long budget = ds.size() - num_clients * opt.min_per_client;
+  std::vector<long> sizes(static_cast<std::size_t>(num_clients));
+  long assigned = 0;
+  for (long c = 0; c < num_clients; ++c) {
+    const long extra = static_cast<long>(
+        std::floor(budget * w[static_cast<std::size_t>(c)] / total));
+    sizes[static_cast<std::size_t>(c)] = opt.min_per_client + extra;
+    assigned += sizes[static_cast<std::size_t>(c)];
+  }
+  // Distribute rounding leftovers.
+  long leftover = ds.size() - assigned;
+  for (long c = 0; leftover > 0; c = (c + 1) % num_clients, --leftover)
+    ++sizes[static_cast<std::size_t>(c)];
+
+  // Build per-class pools for label skew.
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(ds.num_classes));
+  for (std::size_t i = 0; i < ds.labels.size(); ++i)
+    by_class[static_cast<std::size_t>(ds.labels[i])].push_back(i);
+  for (auto& pool : by_class) rng.shuffle(pool);
+
+  std::vector<std::size_t> flat = random_permutation(
+      static_cast<std::size_t>(ds.size()), rng);
+  std::vector<bool> taken(static_cast<std::size_t>(ds.size()), false);
+
+  std::vector<Dataset> parts;
+  parts.reserve(static_cast<std::size_t>(num_clients));
+  std::size_t flat_cursor = 0;
+  for (long c = 0; c < num_clients; ++c) {
+    std::vector<std::size_t> idx;
+    const long want = sizes[static_cast<std::size_t>(c)];
+    idx.reserve(static_cast<std::size_t>(want));
+    if (opt.label_skew) {
+      // Half the classes (chosen per client) supply ~80% of its samples.
+      std::vector<long> classes(static_cast<std::size_t>(ds.num_classes));
+      for (long k = 0; k < ds.num_classes; ++k)
+        classes[static_cast<std::size_t>(k)] = k;
+      rng.shuffle(classes);
+      const std::size_t favored = static_cast<std::size_t>(
+          std::max(1L, ds.num_classes / 2));
+      const long from_favored = static_cast<long>(0.8f * float(want));
+      long got = 0;
+      for (std::size_t f = 0; f < favored && got < from_favored; ++f) {
+        auto& pool = by_class[static_cast<std::size_t>(
+            classes[f])];
+        while (!pool.empty() && got < from_favored) {
+          const std::size_t i = pool.back();
+          pool.pop_back();
+          if (taken[i]) continue;
+          taken[i] = true;
+          idx.push_back(i);
+          ++got;
+        }
+      }
+    }
+    // Fill the remainder (or everything, in the no-skew case) uniformly.
+    while (static_cast<long>(idx.size()) < want &&
+           flat_cursor < flat.size()) {
+      const std::size_t i = flat[flat_cursor++];
+      if (taken[i]) continue;
+      taken[i] = true;
+      idx.push_back(i);
+    }
+    parts.push_back(ds.subset(idx));
+  }
+  return parts;
+}
+
+PartitionStats partition_stats(const std::vector<Dataset>& parts) {
+  GOLDFISH_CHECK(!parts.empty(), "no partitions");
+  PartitionStats st;
+  double mean = 0.0;
+  st.min_size = parts[0].size();
+  st.max_size = parts[0].size();
+  for (const Dataset& p : parts) {
+    mean += p.size();
+    st.min_size = std::min(st.min_size, p.size());
+    st.max_size = std::max(st.max_size, p.size());
+  }
+  mean /= double(parts.size());
+  for (const Dataset& p : parts) {
+    const double d = double(p.size()) - mean;
+    st.size_variance += d * d;
+  }
+  st.size_variance /= double(parts.size());
+  return st;
+}
+
+std::vector<std::vector<std::size_t>> shard_indices(long dataset_size,
+                                                    long num_shards,
+                                                    Rng& rng) {
+  GOLDFISH_CHECK(num_shards > 0, "need at least one shard");
+  GOLDFISH_CHECK(dataset_size >= num_shards, "fewer samples than shards");
+  auto perm = random_permutation(static_cast<std::size_t>(dataset_size), rng);
+  std::vector<std::vector<std::size_t>> shards(
+      static_cast<std::size_t>(num_shards));
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    shards[i % static_cast<std::size_t>(num_shards)].push_back(perm[i]);
+  return shards;
+}
+
+}  // namespace goldfish::data

@@ -1,0 +1,51 @@
+// Client-side data partitioning: IID and heterogeneous splits across
+// federated clients (§IV-B robustness experiments, Table XII), and the
+// shard split inside one client (optimization module, Fig. 2).
+#pragma once
+
+#include "data/dataset.h"
+
+namespace goldfish::data {
+
+/// Split a dataset across `num_clients` clients with (near-)equal sizes and
+/// uniformly shuffled rows — the "uniformly assigned" setting of §IV-A.
+std::vector<Dataset> partition_iid(const Dataset& ds, long num_clients,
+                                   Rng& rng);
+
+/// Heterogeneous split: client sizes are drawn from a heavy-tailed
+/// distribution ("data is randomly assigned to each user", §IV-B) so dataset
+/// sizes vary strongly; optional label skew concentrates classes per client.
+struct HeteroOptions {
+  /// Larger → more even sizes; smaller → more extreme skew. Size weights are
+  /// drawn as u^size_skew of uniform u, normalized.
+  float size_skew = 3.0f;
+  /// If true, each client's label distribution is also skewed (half the
+  /// classes dominate), matching the "minimum local accuracy ≈ random"
+  /// behaviour of Table XII.
+  bool label_skew = true;
+  /// Guaranteed minimum samples per client.
+  long min_per_client = 8;
+};
+
+std::vector<Dataset> partition_heterogeneous(const Dataset& ds,
+                                             long num_clients,
+                                             const HeteroOptions& opt,
+                                             Rng& rng);
+
+/// Statistics reported in Table XII.
+struct PartitionStats {
+  double size_variance = 0.0;
+  long min_size = 0;
+  long max_size = 0;
+};
+
+PartitionStats partition_stats(const std::vector<Dataset>& parts);
+
+/// Split one client's local dataset into τ shards (Fig. 2). Returns the
+/// per-shard row indices into the client dataset, sizes as equal as
+/// possible, rows shuffled.
+std::vector<std::vector<std::size_t>> shard_indices(long dataset_size,
+                                                    long num_shards,
+                                                    Rng& rng);
+
+}  // namespace goldfish::data

@@ -1,0 +1,72 @@
+#include "fl/aggregation.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace goldfish::fl {
+
+std::vector<Tensor> FedAvgAggregator::aggregate(
+    const std::vector<ClientUpdate>& updates) const {
+  GOLDFISH_CHECK(!updates.empty(), "no updates to aggregate");
+  std::vector<std::vector<Tensor>> snaps;
+  std::vector<float> weights;
+  snaps.reserve(updates.size());
+  weights.reserve(updates.size());
+  for (const ClientUpdate& u : updates) {
+    GOLDFISH_CHECK(u.dataset_size > 0, "client with empty dataset");
+    snaps.push_back(u.params);
+    weights.push_back(static_cast<float>(u.dataset_size));
+  }
+  return nn::weighted_average(snaps, weights);
+}
+
+std::vector<Tensor> UniformAggregator::aggregate(
+    const std::vector<ClientUpdate>& updates) const {
+  GOLDFISH_CHECK(!updates.empty(), "no updates to aggregate");
+  std::vector<std::vector<Tensor>> snaps;
+  snaps.reserve(updates.size());
+  for (const ClientUpdate& u : updates) snaps.push_back(u.params);
+  return nn::weighted_average(
+      snaps, std::vector<float>(updates.size(), 1.0f));
+}
+
+std::vector<float> AdaptiveAggregator::weights_from_mse(
+    const std::vector<double>& mses) {
+  GOLDFISH_CHECK(!mses.empty(), "no MSEs");
+  double mean = 0.0;
+  for (double m : mses) {
+    GOLDFISH_CHECK(m >= 0.0, "negative MSE");
+    mean += m;
+  }
+  mean /= double(mses.size());
+  GOLDFISH_CHECK(mean > 0.0, "all-zero MSEs");
+  std::vector<float> w(mses.size());
+  for (std::size_t i = 0; i < mses.size(); ++i)
+    w[i] = static_cast<float>(std::exp(-(mses[i] - mean) / mean));
+  return w;
+}
+
+std::vector<Tensor> AdaptiveAggregator::aggregate(
+    const std::vector<ClientUpdate>& updates) const {
+  GOLDFISH_CHECK(!updates.empty(), "no updates to aggregate");
+  std::vector<double> mses;
+  std::vector<std::vector<Tensor>> snaps;
+  mses.reserve(updates.size());
+  snaps.reserve(updates.size());
+  for (const ClientUpdate& u : updates) {
+    mses.push_back(u.mse);
+    snaps.push_back(u.params);
+  }
+  return nn::weighted_average(snaps, weights_from_mse(mses));
+}
+
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name) {
+  if (name == "fedavg") return std::make_unique<FedAvgAggregator>();
+  if (name == "uniform") return std::make_unique<UniformAggregator>();
+  if (name == "adaptive") return std::make_unique<AdaptiveAggregator>();
+  GOLDFISH_CHECK(false, "unknown aggregator: " + name);
+  return nullptr;  // unreachable
+}
+
+}  // namespace goldfish::fl

@@ -1,0 +1,65 @@
+// Server-side model aggregation: FedAvg (McMahan et al.) and the paper's
+// adaptive-weight extension (Eq. 12–13).
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace goldfish::fl {
+
+/// One client's upload: a parameter snapshot plus its dataset size.
+struct ClientUpdate {
+  std::vector<Tensor> params;
+  long dataset_size = 0;
+  /// MSE of the client model on the server's test set; filled by the server
+  /// before adaptive aggregation (Eq. 12 is computed "at the central
+  /// server").
+  double mse = 0.0;
+};
+
+/// Aggregation strategy interface.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// FedAvg: weights proportional to |D_c|.
+class FedAvgAggregator final : public Aggregator {
+ public:
+  std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates) const override;
+  std::string name() const override { return "fedavg"; }
+};
+
+/// Uniform (equal-weight) parameter averaging: ω = (1/C)·Σ ω_c. This is the
+/// naive FedAvg variant many FL implementations ship (and the behaviour the
+/// paper's Fig. 8/9 comparison exhibits — see EXPERIMENTS.md); kept distinct
+/// from the size-weighted FedAvgAggregator above.
+class UniformAggregator final : public Aggregator {
+ public:
+  std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates) const override;
+  std::string name() const override { return "uniform"; }
+};
+
+/// Goldfish adaptive weights (Eq. 12–13):
+///   W_c = exp(−(me_c − mē)/mē),  ω = (1/θ)·Σ W_c·ω_c, θ = Σ W_c.
+/// Lower test MSE ⇒ exponentially larger weight.
+class AdaptiveAggregator final : public Aggregator {
+ public:
+  std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates) const override;
+  std::string name() const override { return "adaptive"; }
+
+  /// The raw Eq. 12 weights (exposed for tests/benches).
+  static std::vector<float> weights_from_mse(const std::vector<double>& mses);
+};
+
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name);
+
+}  // namespace goldfish::fl

@@ -1,0 +1,84 @@
+#include "fl/simulation.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "metrics/evaluation.h"
+#include "tensor/serialize.h"
+
+namespace goldfish::fl {
+
+FederatedSim::FederatedSim(nn::Model global,
+                           std::vector<data::Dataset> client_data,
+                           data::Dataset server_test, FlConfig cfg)
+    : global_(std::move(global)),
+      clients_(std::move(client_data)),
+      test_(std::move(server_test)),
+      cfg_(std::move(cfg)),
+      aggregator_(make_aggregator(cfg_.aggregator)),
+      pool_(cfg_.threads) {
+  GOLDFISH_CHECK(!clients_.empty(), "simulation needs clients");
+  GOLDFISH_CHECK(!test_.empty(), "simulation needs a server test set");
+  // Default behaviour: Algorithm 1's LocalTraining.
+  update_fn_ = [this](std::size_t cid, nn::Model& model,
+                      const data::Dataset& ds, long round) {
+    TrainOptions opts = cfg_.local;
+    opts.seed = cfg_.seed ^ (0x9E3779B9u * (cid + 1)) ^
+                static_cast<std::uint64_t>(round);
+    train_local(model, ds, opts);
+  };
+}
+
+void FederatedSim::set_client_data(std::size_t c, data::Dataset ds) {
+  GOLDFISH_CHECK(c < clients_.size(), "client id out of range");
+  clients_[c] = std::move(ds);
+}
+
+RoundResult FederatedSim::run_round() {
+  const std::size_t n = clients_.size();
+  std::vector<ClientUpdate> updates(n);
+  std::vector<double> local_acc(n, 0.0);
+  std::atomic<std::size_t> bytes{0};
+
+  pool_.parallel_map(n, [&](std::size_t c) {
+    nn::Model local = global_;  // broadcast: deep copy of global weights
+    update_fn_(c, local, clients_[c], round_);
+    // Upload path: serialize → wire → deserialize, counting bytes.
+    std::size_t wire = 0;
+    updates[c].params = roundtrip_through_bytes(local.snapshot(), &wire);
+    updates[c].dataset_size = clients_[c].size();
+    bytes.fetch_add(wire, std::memory_order_relaxed);
+    local_acc[c] = metrics::accuracy(local, test_);
+  });
+
+  // Server-side MSE scoring (Eq. 12 operates on the server's test set).
+  if (aggregator_->name() == "adaptive") {
+    pool_.parallel_map(n, [&](std::size_t c) {
+      nn::Model scratch = global_;
+      scratch.load(updates[c].params);
+      updates[c].mse = metrics::mse(scratch, test_);
+    });
+  }
+
+  global_.load(aggregator_->aggregate(updates));
+
+  RoundResult r;
+  r.round = round_++;
+  r.global_accuracy = metrics::accuracy(global_, test_);
+  r.bytes_uplinked = bytes.load();
+  r.min_local_accuracy = *std::min_element(local_acc.begin(), local_acc.end());
+  r.max_local_accuracy = *std::max_element(local_acc.begin(), local_acc.end());
+  double mean = 0.0;
+  for (double a : local_acc) mean += a;
+  r.mean_local_accuracy = mean / double(n);
+  return r;
+}
+
+std::vector<RoundResult> FederatedSim::run(long rounds) {
+  std::vector<RoundResult> out;
+  out.reserve(static_cast<std::size_t>(rounds));
+  for (long i = 0; i < rounds; ++i) out.push_back(run_round());
+  return out;
+}
+
+}  // namespace goldfish::fl

@@ -1,0 +1,75 @@
+// In-process federated learning simulation: a server, C clients, synchronous
+// rounds, pluggable client update logic and aggregation. Client uploads pass
+// through real (de)serialization so the wire path is exercised and byte
+// counts are measurable.
+#pragma once
+
+#include <functional>
+
+#include "fl/aggregation.h"
+#include "fl/thread_pool.h"
+#include "fl/trainer.h"
+
+namespace goldfish::fl {
+
+struct FlConfig {
+  TrainOptions local;                ///< per-round local training options
+  std::string aggregator = "fedavg"; ///< "fedavg" | "adaptive"
+  std::size_t threads = 0;           ///< 0 → hardware concurrency
+  std::uint64_t seed = 7;
+};
+
+/// Telemetry for one synchronous round.
+struct RoundResult {
+  long round = 0;
+  double global_accuracy = 0.0;
+  double min_local_accuracy = 0.0;
+  double max_local_accuracy = 0.0;
+  double mean_local_accuracy = 0.0;
+  std::size_t bytes_uplinked = 0;
+};
+
+class FederatedSim {
+ public:
+  /// The per-client update: receives a local model already initialized from
+  /// the current global parameters, trains it, and returns nothing (the sim
+  /// snapshots the model afterwards). `round` is the global round index.
+  using ClientUpdateFn = std::function<void(
+      std::size_t client_id, nn::Model& local_model,
+      const data::Dataset& local_data, long round)>;
+
+  FederatedSim(nn::Model global, std::vector<data::Dataset> client_data,
+               data::Dataset server_test, FlConfig cfg);
+
+  /// Replace the default (plain LocalTraining) client update.
+  void set_client_update(ClientUpdateFn fn) { update_fn_ = std::move(fn); }
+
+  /// Execute one synchronous round: broadcast → parallel local updates →
+  /// serialize/upload → (adaptive: server-side MSE scoring) → aggregate.
+  RoundResult run_round();
+
+  /// Run `rounds` rounds, collecting telemetry.
+  std::vector<RoundResult> run(long rounds);
+
+  nn::Model& global_model() { return global_; }
+  const data::Dataset& server_test() const { return test_; }
+  const data::Dataset& client_data(std::size_t c) const {
+    return clients_[c];
+  }
+  std::size_t num_clients() const { return clients_.size(); }
+
+  /// Replace one client's dataset (deletion requests mutate local data).
+  void set_client_data(std::size_t c, data::Dataset ds);
+
+ private:
+  nn::Model global_;
+  std::vector<data::Dataset> clients_;
+  data::Dataset test_;
+  FlConfig cfg_;
+  std::unique_ptr<Aggregator> aggregator_;
+  ThreadPool pool_;
+  ClientUpdateFn update_fn_;
+  long round_ = 0;
+};
+
+}  // namespace goldfish::fl

@@ -1,0 +1,63 @@
+// Fixed-size thread pool driving the "foreach client c in parallel" loops of
+// Algorithm 1 (and parallel shard retraining, Fig. 3).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace goldfish::fl {
+
+class ThreadPool {
+ public:
+  /// threads == 0 → hardware concurrency (capped at 16).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::runtime_error("submit on stopped pool");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Apply fn(i) for i in [0, n), in parallel; blocks until all complete.
+  /// Exceptions from tasks propagate (first one wins).
+  template <typename Fn>
+  void parallel_map(std::size_t n, Fn&& fn) {
+    std::vector<std::future<void>> futs;
+    futs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      futs.push_back(submit([&fn, i] { fn(i); }));
+    for (auto& f : futs) f.get();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace goldfish::fl

@@ -1,0 +1,56 @@
+#include "fl/trainer.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace goldfish::fl {
+
+TrainStats train_local(nn::Model& model, const data::Dataset& ds,
+                       const TrainOptions& opts) {
+  GOLDFISH_CHECK(!ds.empty(), "training on an empty dataset");
+  auto loss = losses::make_hard_loss(opts.loss);
+  nn::Sgd::Options sgd_opts;
+  sgd_opts.lr = opts.lr;
+  sgd_opts.momentum = opts.momentum;
+  nn::Sgd sgd(sgd_opts);
+  Rng rng(opts.seed);
+
+  TrainStats stats;
+  for (long e = 0; e < opts.epochs; ++e) {
+    data::BatchIterator it(ds, opts.batch_size, rng);
+    double epoch_loss = 0.0;
+    for (std::size_t b = 0; b < it.num_batches(); ++b) {
+      auto [x, y] = ds.batch(it.batch_indices(b));
+      const Tensor logits = model.forward(x, /*train=*/true);
+      losses::LossResult r = loss->eval(logits, y);
+      model.backward(r.grad_logits);
+      sgd.step(model);
+      epoch_loss += r.value;
+      ++stats.steps;
+    }
+    stats.epoch_losses.push_back(
+        static_cast<float>(epoch_loss / double(it.num_batches())));
+  }
+  return stats;
+}
+
+float dataset_loss(nn::Model& model, const data::Dataset& ds,
+                   const losses::HardLoss& loss, long batch_size) {
+  GOLDFISH_CHECK(!ds.empty(), "loss over an empty dataset");
+  double total = 0.0;
+  long batches = 0;
+  const long n = ds.size();
+  for (long lo = 0; lo < n; lo += batch_size) {
+    const long hi = std::min(n, lo + batch_size);
+    std::vector<std::size_t> idx;
+    for (long i = lo; i < hi; ++i) idx.push_back(std::size_t(i));
+    auto [x, y] = ds.batch(idx);
+    const Tensor logits = model.forward(x, /*train=*/false);
+    total += loss.eval(logits, y).value;
+    ++batches;
+  }
+  return static_cast<float>(total / double(batches));
+}
+
+}  // namespace goldfish::fl

@@ -1,0 +1,22 @@
+// Distillation and confusion losses (Eq. 2–5 of the paper).
+#pragma once
+
+#include "losses/hard_loss.h"
+
+namespace goldfish::losses {
+
+/// Distillation loss (Eq. 5): L_d = −Σᵢ P_T(xᵢ)·log P_S(xᵢ), where both
+/// confidence vectors are temperature-softened softmaxes (Eq. 3–4).
+/// Returned value is the batch mean; the gradient is w.r.t. the *student*
+/// logits ((P_S − P_T)/T per sample — the teacher is a constant).
+LossResult distillation_loss(const Tensor& teacher_logits,
+                             const Tensor& student_logits, float temperature);
+
+/// Confusion loss (Eq. 2): L_c = (1/|D_f|)·Σⱼ √Var(M_S(xⱼ)), the mean
+/// standard deviation of the student's predicted probability vector on the
+/// removed data. Minimizing it pushes predictions on D_f towards the uniform
+/// distribution, erasing any confident (e.g. backdoored) pattern.
+/// Gradient is w.r.t. the student logits.
+LossResult confusion_loss(const Tensor& student_logits);
+
+}  // namespace goldfish::losses

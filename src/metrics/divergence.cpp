@@ -1,0 +1,135 @@
+#include "metrics/divergence.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace goldfish::metrics {
+
+namespace {
+
+std::vector<double> normalized(const std::vector<double>& p) {
+  double total = 0.0;
+  for (double v : p) {
+    GOLDFISH_CHECK(v >= 0.0, "probabilities must be non-negative");
+    total += v;
+  }
+  GOLDFISH_CHECK(total > 0.0, "distribution sums to zero");
+  std::vector<double> out(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) out[i] = p[i] / total;
+  return out;
+}
+
+double kl(const std::vector<double>& p, const std::vector<double>& m) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    acc += p[i] * std::log(p[i] / m[i]);
+  }
+  return acc;
+}
+
+/// Lentz's continued-fraction evaluation of the incomplete beta.
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b, qap = a + 1.0, qam = a - 1.0;
+  double c = 1.0, d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  GOLDFISH_CHECK(x >= 0.0 && x <= 1.0, "x out of [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front =
+      std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) return front * betacf(a, b, x) / a;
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double jensen_shannon_divergence(const std::vector<double>& p,
+                                 const std::vector<double>& q) {
+  GOLDFISH_CHECK(p.size() == q.size() && !p.empty(), "length mismatch");
+  const std::vector<double> pn = normalized(p);
+  const std::vector<double> qn = normalized(q);
+  std::vector<double> m(pn.size());
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = 0.5 * (pn[i] + qn[i]);
+  return 0.5 * kl(pn, m) + 0.5 * kl(qn, m);
+}
+
+double l2_distance(const std::vector<double>& p,
+                   const std::vector<double>& q) {
+  GOLDFISH_CHECK(p.size() == q.size() && !p.empty(), "length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = p[i] - q[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+TTestResult welch_ttest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  GOLDFISH_CHECK(a.size() >= 2 && b.size() >= 2,
+                 "t-test needs at least two samples per group");
+  const double na = double(a.size()), nb = double(b.size());
+  double ma = 0.0, mb = 0.0;
+  for (double v : a) ma += v;
+  for (double v : b) mb += v;
+  ma /= na;
+  mb /= nb;
+  double va = 0.0, vb = 0.0;
+  for (double v : a) va += (v - ma) * (v - ma);
+  for (double v : b) vb += (v - mb) * (v - mb);
+  va /= (na - 1.0);
+  vb /= (nb - 1.0);
+
+  TTestResult r;
+  const double se2 = va / na + vb / nb;
+  if (se2 <= 0.0) {
+    // Zero variance in both samples: identical means → p = 1, else p → 0.
+    r.t_statistic = (ma == mb) ? 0.0 : 1e30;
+    r.degrees_of_freedom = na + nb - 2.0;
+    r.p_value = (ma == mb) ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_statistic = (ma - mb) / std::sqrt(se2);
+  const double num = se2 * se2;
+  const double den = (va / na) * (va / na) / (na - 1.0) +
+                     (vb / nb) * (vb / nb) / (nb - 1.0);
+  r.degrees_of_freedom = num / den;
+  // Two-sided p-value via the incomplete beta form of the Student-t CDF.
+  const double df = r.degrees_of_freedom;
+  const double t2 = r.t_statistic * r.t_statistic;
+  r.p_value = incomplete_beta(df / 2.0, 0.5, df / (df + t2));
+  return r;
+}
+
+}  // namespace goldfish::metrics

@@ -1,0 +1,32 @@
+// Statistical comparison metrics for Tables VII–IX: Jensen–Shannon
+// divergence, L2 distance between distributions, and Welch's t-test.
+#pragma once
+
+#include <vector>
+
+namespace goldfish::metrics {
+
+/// Jensen–Shannon divergence between two probability distributions (natural
+/// log; ∈ [0, ln 2] ≈ [0, 0.693]). Inputs are normalized defensively.
+double jensen_shannon_divergence(const std::vector<double>& p,
+                                 const std::vector<double>& q);
+
+/// L2 (Euclidean) distance between two equal-length vectors.
+double l2_distance(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Welch's unequal-variance t-test. Returns the two-sided p-value for the
+/// null hypothesis that the two samples share a mean.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;
+};
+
+TTestResult welch_ttest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Regularized incomplete beta function (exposed for testing; implements the
+/// Student-t CDF used by welch_ttest).
+double incomplete_beta(double a, double b, double x);
+
+}  // namespace goldfish::metrics

@@ -1,0 +1,99 @@
+#include "metrics/evaluation.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+#include "tensor/ops.h"
+
+namespace goldfish::metrics {
+
+namespace {
+
+/// Run fn over the dataset in sequential batches (no shuffling).
+template <typename Fn>
+void for_batches(nn::Model& model, const data::Dataset& ds, long batch_size,
+                 Fn&& fn) {
+  GOLDFISH_CHECK(!ds.empty(), "evaluating on an empty dataset");
+  const long n = ds.size();
+  for (long lo = 0; lo < n; lo += batch_size) {
+    const long hi = std::min(n, lo + batch_size);
+    std::vector<std::size_t> idx;
+    idx.reserve(static_cast<std::size_t>(hi - lo));
+    for (long i = lo; i < hi; ++i)
+      idx.push_back(static_cast<std::size_t>(i));
+    auto [x, y] = ds.batch(idx);
+    const Tensor logits = model.forward(x, /*train=*/false);
+    fn(logits, y);
+  }
+}
+
+}  // namespace
+
+double accuracy(nn::Model& model, const data::Dataset& ds, long batch_size) {
+  long correct = 0;
+  for_batches(model, ds, batch_size,
+              [&](const Tensor& logits, const std::vector<long>& y) {
+                const std::vector<long> pred = argmax_rows(logits);
+                for (std::size_t i = 0; i < y.size(); ++i)
+                  if (pred[i] == y[i]) ++correct;
+              });
+  return 100.0 * double(correct) / double(ds.size());
+}
+
+double attack_success_rate(nn::Model& model, const data::Dataset& probe,
+                           long batch_size) {
+  if (probe.empty()) return 0.0;
+  return accuracy(model, probe, batch_size);
+}
+
+double mse(nn::Model& model, const data::Dataset& ds, long batch_size) {
+  double total = 0.0;
+  for_batches(model, ds, batch_size,
+              [&](const Tensor& logits, const std::vector<long>& y) {
+                const Tensor p = softmax_rows(logits);
+                const long c = p.dim(1);
+                for (long i = 0; i < p.dim(0); ++i) {
+                  for (long j = 0; j < c; ++j) {
+                    const double target =
+                        (j == y[static_cast<std::size_t>(i)]) ? 1.0 : 0.0;
+                    const double d = double(p.at(i, j)) - target;
+                    total += d * d;
+                  }
+                }
+              });
+  return total / (double(ds.size()) * double(ds.num_classes));
+}
+
+std::vector<double> mean_prediction(nn::Model& model, const data::Dataset& ds,
+                                    long batch_size) {
+  std::vector<double> mean(static_cast<std::size_t>(ds.num_classes), 0.0);
+  for_batches(model, ds, batch_size,
+              [&](const Tensor& logits, const std::vector<long>&) {
+                const Tensor p = softmax_rows(logits);
+                for (long i = 0; i < p.dim(0); ++i)
+                  for (long j = 0; j < p.dim(1); ++j)
+                    mean[static_cast<std::size_t>(j)] += p.at(i, j);
+              });
+  for (double& v : mean) v /= double(ds.size());
+  return mean;
+}
+
+std::vector<double> confidence_series(nn::Model& model,
+                                      const data::Dataset& ds,
+                                      long batch_size) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(ds.size()));
+  for_batches(model, ds, batch_size,
+              [&](const Tensor& logits, const std::vector<long>&) {
+                const Tensor p = softmax_rows(logits);
+                for (long i = 0; i < p.dim(0); ++i) {
+                  float mx = 0.0f;
+                  for (long j = 0; j < p.dim(1); ++j)
+                    mx = std::max(mx, p.at(i, j));
+                  out.push_back(mx);
+                }
+              });
+  return out;
+}
+
+}  // namespace goldfish::metrics

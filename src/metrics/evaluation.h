@@ -1,0 +1,35 @@
+// Model evaluation: accuracy, backdoor attack success rate, MSE — the
+// quantities every table in the paper reports.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace goldfish::metrics {
+
+/// Classification accuracy (%) of a model over a dataset, evaluated in
+/// batches (eval mode, running batch-norm stats).
+double accuracy(nn::Model& model, const data::Dataset& ds,
+                long batch_size = 256);
+
+/// Backdoor attack success rate (%): fraction of a trigger-probe set
+/// classified as the attacker's target label. The probe set already carries
+/// the target label on every row, so this is accuracy on the probe.
+double attack_success_rate(nn::Model& model, const data::Dataset& probe,
+                           long batch_size = 256);
+
+/// Mean squared error between the model's softmax outputs and one-hot
+/// labels — the "me" quantity of the adaptive-weight mechanism (Eq. 12).
+double mse(nn::Model& model, const data::Dataset& ds, long batch_size = 256);
+
+/// Mean softmax output of a model over a dataset (one probability vector),
+/// the distribution compared by JSD/L2 in Tables VII–IX.
+std::vector<double> mean_prediction(nn::Model& model, const data::Dataset& ds,
+                                    long batch_size = 256);
+
+/// Per-sample max-confidence values (input to the t-test of Tables VII–IX).
+std::vector<double> confidence_series(nn::Model& model,
+                                      const data::Dataset& ds,
+                                      long batch_size = 256);
+
+}  // namespace goldfish::metrics

@@ -1,0 +1,84 @@
+#include "metrics/report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace goldfish::metrics {
+
+TableReporter::TableReporter(std::string title,
+                             std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  GOLDFISH_CHECK(!columns_.empty(), "table needs columns");
+}
+
+void TableReporter::add_row(std::vector<std::string> cells) {
+  GOLDFISH_CHECK(cells.size() == columns_.size(),
+                 "row arity mismatch in table '" + title_ + "'");
+  rows_.push_back(std::move(cells));
+}
+
+void TableReporter::print() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::cout << "\n== " << title_ << " ==\n";
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      std::cout << "| " << std::setw(static_cast<int>(width[c])) << cells[c]
+                << ' ';
+    std::cout << "|\n";
+  };
+  print_row(columns_);
+  std::size_t total = columns_.size() * 3 + 1;
+  for (std::size_t w : width) total += w;
+  std::cout << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+void TableReporter::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  GOLDFISH_CHECK(os.is_open(), "cannot write csv: " + path);
+  const auto esc = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << (c ? "," : "") << esc(columns_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << esc(row[c]);
+    os << '\n';
+  }
+}
+
+std::string fmt(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+bool full_scale() {
+  const char* s = std::getenv("GOLDFISH_SCALE");
+  return s != nullptr && std::string(s) == "full";
+}
+
+long scale_factor() { return full_scale() ? 4 : 1; }
+
+}  // namespace goldfish::metrics

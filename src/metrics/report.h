@@ -1,0 +1,40 @@
+// Console + CSV table reporting used by every bench binary so that output
+// matches the row/column structure of the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace goldfish::metrics {
+
+/// Accumulates rows and renders an aligned console table; optionally dumps
+/// the same content as CSV (one file per paper table/figure).
+class TableReporter {
+ public:
+  TableReporter(std::string title, std::vector<std::string> columns);
+
+  /// Add one row; cells are preformatted strings (use fmt helpers below).
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to stdout.
+  void print() const;
+
+  /// Write CSV to the given path (creates/truncates).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals.
+std::string fmt(double value, int decimals = 2);
+
+/// Environment-driven experiment scale: "quick" (default) or "full".
+/// Benches multiply their sample counts / rounds by scale_factor().
+bool full_scale();
+/// 1 for quick, 4 for full.
+long scale_factor();
+
+}  // namespace goldfish::metrics

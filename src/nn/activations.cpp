@@ -1,0 +1,67 @@
+#include "nn/activations.h"
+
+namespace goldfish::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  mask_ = Tensor(x.shape());
+  Tensor y = x;
+  float* yd = y.data();
+  float* md = mask_.data();
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (yd[i] > 0.0f) {
+      md[i] = 1.0f;
+    } else {
+      yd[i] = 0.0f;
+      md[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  GOLDFISH_CHECK(grad_output.same_shape(mask_), "relu grad shape");
+  Tensor g = grad_output;
+  float* gd = g.data();
+  const float* md = mask_.data();
+  for (std::size_t i = 0; i < g.numel(); ++i) gd[i] *= md[i];
+  return g;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const {
+  auto copy = std::make_unique<ReLU>(*this);
+  copy->mask_ = Tensor();
+  return copy;
+}
+
+Tensor Unflatten::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() == 4) return x;  // already image-shaped
+  GOLDFISH_CHECK(x.rank() == 2 && x.dim(1) == c_ * h_ * w_,
+                 "unflatten input shape " + x.shape_str());
+  return x.reshaped({x.dim(0), c_, h_, w_});
+}
+
+Tensor Unflatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped({grad_output.dim(0), c_ * h_ * w_});
+}
+
+std::unique_ptr<Layer> Unflatten::clone() const {
+  return std::make_unique<Unflatten>(*this);
+}
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  cached_shape_ = x.shape();
+  GOLDFISH_CHECK(x.rank() >= 2, "flatten needs a batch dimension");
+  long features = 1;
+  for (std::size_t i = 1; i < x.rank(); ++i) features *= x.dim(i);
+  return x.reshaped({x.dim(0), features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  return std::make_unique<Flatten>(*this);
+}
+
+}  // namespace goldfish::nn

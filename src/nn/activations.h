@@ -1,0 +1,48 @@
+// Pointwise activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace goldfish::nn {
+
+/// Rectified linear unit; caches the input sign mask for backward.
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+/// Reshape (N, C·H·W) → (N,C,H,W). Datasets store flat feature vectors
+/// (Table II reports dimensionality 784/3072); conv models prepend this.
+class Unflatten final : public Layer {
+ public:
+  Unflatten(long channels, long height, long width)
+      : c_(channels), h_(height), w_(width) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override { return "unflatten"; }
+
+ private:
+  long c_, h_, w_;
+};
+
+/// Reshape (N,C,H,W) → (N, C·H·W); pure bookkeeping, gradient reshapes back.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override { return "flatten"; }
+
+ private:
+  Shape cached_shape_;
+};
+
+}  // namespace goldfish::nn

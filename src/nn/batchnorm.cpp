@@ -1,0 +1,144 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace goldfish::nn {
+
+BatchNorm2d::BatchNorm2d(long channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Tensor::ones({channels})),
+      beta_(Tensor::zeros({channels})),
+      grad_gamma_(Tensor::zeros({channels})),
+      grad_beta_(Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::ones({channels})) {
+  GOLDFISH_CHECK(channels > 0, "bad batchnorm channels");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  GOLDFISH_CHECK(x.rank() == 4 && x.dim(1) == channels_,
+                 "batchnorm input shape " + x.shape_str());
+  in_shape_ = x.shape();
+  const long N = x.dim(0), C = channels_, H = x.dim(2), W = x.dim(3);
+  const long per_channel = N * H * W;
+  Tensor out(x.shape());
+
+  if (train) {
+    cached_xhat_ = Tensor(x.shape());
+    cached_inv_std_ = Tensor({C});
+    for (long c = 0; c < C; ++c) {
+      double mean = 0.0;
+      for (long n = 0; n < N; ++n)
+        for (long y = 0; y < H; ++y)
+          for (long xo = 0; xo < W; ++xo) mean += x.at4(n, c, y, xo);
+      mean /= per_channel;
+      double var = 0.0;
+      for (long n = 0; n < N; ++n)
+        for (long y = 0; y < H; ++y)
+          for (long xo = 0; xo < W; ++xo) {
+            const double d = x.at4(n, c, y, xo) - mean;
+            var += d * d;
+          }
+      var /= per_channel;
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      cached_inv_std_[std::size_t(c)] = inv_std;
+      const float g = gamma_[std::size_t(c)], b = beta_[std::size_t(c)];
+      for (long n = 0; n < N; ++n)
+        for (long y = 0; y < H; ++y)
+          for (long xo = 0; xo < W; ++xo) {
+            const float xh =
+                (x.at4(n, c, y, xo) - static_cast<float>(mean)) * inv_std;
+            cached_xhat_.at4(n, c, y, xo) = xh;
+            out.at4(n, c, y, xo) = g * xh + b;
+          }
+      running_mean_[std::size_t(c)] =
+          (1.0f - momentum_) * running_mean_[std::size_t(c)] +
+          momentum_ * static_cast<float>(mean);
+      running_var_[std::size_t(c)] =
+          (1.0f - momentum_) * running_var_[std::size_t(c)] +
+          momentum_ * static_cast<float>(var);
+    }
+  } else {
+    for (long c = 0; c < C; ++c) {
+      const float mean = running_mean_[std::size_t(c)];
+      const float inv_std =
+          1.0f / std::sqrt(running_var_[std::size_t(c)] + eps_);
+      const float g = gamma_[std::size_t(c)], b = beta_[std::size_t(c)];
+      for (long n = 0; n < N; ++n)
+        for (long y = 0; y < H; ++y)
+          for (long xo = 0; xo < W; ++xo)
+            out.at4(n, c, y, xo) =
+                g * (x.at4(n, c, y, xo) - mean) * inv_std + b;
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  GOLDFISH_CHECK(!cached_xhat_.empty(),
+                 "batchnorm backward requires a training forward");
+  GOLDFISH_CHECK(grad_output.shape() == in_shape_, "batchnorm grad shape");
+  const long N = in_shape_[0], C = channels_, H = in_shape_[2],
+             W = in_shape_[3];
+  const long m = N * H * W;
+  Tensor gin(in_shape_);
+  for (long c = 0; c < C; ++c) {
+    // Standard batch-norm backward:
+    // dx = (gamma·inv_std/m) · (m·dy − Σdy − x̂·Σ(dy·x̂))
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (long n = 0; n < N; ++n)
+      for (long y = 0; y < H; ++y)
+        for (long xo = 0; xo < W; ++xo) {
+          const float dy = grad_output.at4(n, c, y, xo);
+          sum_dy += dy;
+          sum_dy_xhat += double(dy) * cached_xhat_.at4(n, c, y, xo);
+        }
+    grad_beta_[std::size_t(c)] += static_cast<float>(sum_dy);
+    grad_gamma_[std::size_t(c)] += static_cast<float>(sum_dy_xhat);
+    const float g = gamma_[std::size_t(c)];
+    const float inv_std = cached_inv_std_[std::size_t(c)];
+    const float scale = g * inv_std / static_cast<float>(m);
+    for (long n = 0; n < N; ++n)
+      for (long y = 0; y < H; ++y)
+        for (long xo = 0; xo < W; ++xo) {
+          const float dy = grad_output.at4(n, c, y, xo);
+          const float xh = cached_xhat_.at4(n, c, y, xo);
+          gin.at4(n, c, y, xo) =
+              scale * (static_cast<float>(m) * dy -
+                       static_cast<float>(sum_dy) -
+                       xh * static_cast<float>(sum_dy_xhat));
+        }
+  }
+  return gin;
+}
+
+std::vector<ParamRef> BatchNorm2d::params() {
+  // Running stats are exposed as parameters with null gradients so that
+  // model snapshot/aggregation code moves them with the weights (FedAvg
+  // averages running stats across clients exactly like PyTorch-based FL
+  // implementations that average full state_dicts).
+  return {{"gamma", &gamma_, &grad_gamma_},
+          {"beta", &beta_, &grad_beta_},
+          {"running_mean", &running_mean_, nullptr},
+          {"running_var", &running_var_, nullptr}};
+}
+
+std::unique_ptr<Layer> BatchNorm2d::clone() const {
+  auto copy = std::make_unique<BatchNorm2d>(*this);
+  copy->grad_gamma_.zero();
+  copy->grad_beta_.zero();
+  copy->cached_xhat_ = Tensor();
+  copy->cached_inv_std_ = Tensor();
+  return copy;
+}
+
+std::string BatchNorm2d::name() const {
+  std::ostringstream os;
+  os << "batchnorm(" << channels_ << ")";
+  return os.str();
+}
+
+}  // namespace goldfish::nn

@@ -1,0 +1,42 @@
+// 2-D convolution via im2col lowering.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace goldfish::nn {
+
+/// Convolution with square kernels, He init. Weight layout is
+/// (out_channels, in_channels·K·K) so forward is a single matmul against the
+/// im2col matrix.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(long in_channels, long out_channels, long kernel, long stride,
+         long pad, long in_h, long in_w, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override;
+
+  long out_channels() const { return out_channels_; }
+  long out_h() const { return geom_.out_h(); }
+  long out_w() const { return geom_.out_w(); }
+
+ private:
+  Conv2dGeom geom_;
+  long out_channels_ = 0;
+  Tensor weight_;  // (outC, inC·K·K)
+  Tensor bias_;    // (outC)
+  Tensor grad_weight_, grad_bias_;
+  Tensor cached_cols_;  // im2col of the last input
+  long cached_batch_ = 0;
+
+  /// (outC, N·oh·ow) matmul output → (N, outC, oh, ow) image layout.
+  Tensor pack_output(const Tensor& flat, long batch) const;
+  /// Inverse of pack_output for the incoming gradient.
+  Tensor unpack_grad(const Tensor& grad_img) const;
+};
+
+}  // namespace goldfish::nn

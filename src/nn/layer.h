@@ -1,0 +1,56 @@
+// Layer abstraction: explicit forward/backward, no autograd tape.
+//
+// Each layer caches what its backward pass needs during forward, produces an
+// input-gradient in backward, and accumulates parameter gradients internally.
+// This is deliberately simpler than a tape: every layer's gradient is
+// unit-testable in isolation against finite differences (see
+// tests/nn_gradcheck_test.cpp), which is how we guarantee the substrate the
+// unlearning results rest on is numerically correct.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace goldfish::nn {
+
+/// A named view over a parameter and its gradient accumulator.
+struct ParamRef {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// Base class for all network layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. `train` toggles training-only behaviour (batch-norm
+  /// statistics). Implementations cache activations needed by backward.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Backward pass: input is ∂L/∂output, returns ∂L/∂input, and *adds*
+  /// parameter gradients into the layer's accumulators (so multiple loss
+  /// terms can be backpropagated before one optimizer step).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Parameters and their gradient accumulators, if any.
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Deep copy, including parameter values (running stats too) but with
+  /// freshly zeroed gradients. Needed to spawn teacher/student and per-shard
+  /// model replicas.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Short diagnostic name ("linear(400->120)").
+  virtual std::string name() const = 0;
+
+  Layer() = default;
+  Layer(const Layer&) = default;
+  Layer& operator=(const Layer&) = default;
+};
+
+}  // namespace goldfish::nn

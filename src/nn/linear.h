@@ -1,0 +1,30 @@
+// Fully connected layer: y = x·Wᵀ + b.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace goldfish::nn {
+
+class Linear final : public Layer {
+ public:
+  /// He-initialized weights (suits the ReLU networks all paper models use).
+  Linear(long in_features, long out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override;
+
+  long in_features() const { return in_; }
+  long out_features() const { return out_; }
+
+ private:
+  long in_ = 0, out_ = 0;
+  Tensor weight_;  // (out, in)
+  Tensor bias_;    // (out)
+  Tensor grad_weight_, grad_bias_;
+  Tensor cached_input_;  // (N, in) from the last forward
+};
+
+}  // namespace goldfish::nn

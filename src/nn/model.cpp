@@ -1,0 +1,99 @@
+#include "nn/model.h"
+
+namespace goldfish::nn {
+
+Model::Model(std::string arch_name, std::unique_ptr<Layer> root,
+             long num_classes)
+    : arch_name_(std::move(arch_name)),
+      root_(std::move(root)),
+      num_classes_(num_classes) {
+  GOLDFISH_CHECK(root_ != nullptr, "model requires a root layer");
+  GOLDFISH_CHECK(num_classes_ > 0, "model requires a class count");
+}
+
+Model::Model(const Model& other)
+    : arch_name_(other.arch_name_),
+      root_(other.root_ ? other.root_->clone() : nullptr),
+      num_classes_(other.num_classes_) {}
+
+Model& Model::operator=(const Model& other) {
+  if (this == &other) return *this;
+  arch_name_ = other.arch_name_;
+  root_ = other.root_ ? other.root_->clone() : nullptr;
+  num_classes_ = other.num_classes_;
+  return *this;
+}
+
+void Model::zero_grad() {
+  for (ParamRef p : root_->params())
+    if (p.grad != nullptr) p.grad->zero();
+}
+
+std::size_t Model::num_scalars() const {
+  std::size_t n = 0;
+  for (ParamRef p : const_cast<Model*>(this)->root_->params())
+    n += p.value->numel();
+  return n;
+}
+
+std::vector<Tensor> Model::snapshot() const {
+  std::vector<Tensor> out;
+  for (ParamRef p : const_cast<Model*>(this)->root_->params())
+    out.push_back(*p.value);
+  return out;
+}
+
+void Model::load(const std::vector<Tensor>& values) {
+  auto ps = root_->params();
+  GOLDFISH_CHECK(ps.size() == values.size(),
+                 "snapshot size mismatch in Model::load");
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    GOLDFISH_CHECK(ps[i].value->same_shape(values[i]),
+                   "snapshot shape mismatch at " + ps[i].name);
+    *ps[i].value = values[i];
+  }
+}
+
+void axpy(std::vector<Tensor>& result, const std::vector<Tensor>& delta,
+          float scale) {
+  GOLDFISH_CHECK(result.size() == delta.size(), "axpy snapshot size");
+  for (std::size_t i = 0; i < result.size(); ++i)
+    result[i].add_scaled(delta[i], scale);
+}
+
+std::vector<Tensor> weighted_average(
+    const std::vector<std::vector<Tensor>>& snaps,
+    const std::vector<float>& weights) {
+  GOLDFISH_CHECK(!snaps.empty(), "no snapshots to average");
+  GOLDFISH_CHECK(snaps.size() == weights.size(), "weights size mismatch");
+  float total = 0.0f;
+  for (float w : weights) {
+    GOLDFISH_CHECK(w >= 0.0f, "negative aggregation weight");
+    total += w;
+  }
+  GOLDFISH_CHECK(total > 0.0f, "aggregation weights sum to zero");
+
+  std::vector<Tensor> out = snaps[0];
+  for (Tensor& t : out) t *= (weights[0] / total);
+  for (std::size_t s = 1; s < snaps.size(); ++s) {
+    GOLDFISH_CHECK(snaps[s].size() == out.size(), "snapshot layout mismatch");
+    axpy(out, snaps[s], weights[s] / total);
+  }
+  return out;
+}
+
+float snapshot_distance_sq(const std::vector<Tensor>& a,
+                           const std::vector<Tensor>& b) {
+  GOLDFISH_CHECK(a.size() == b.size(), "snapshot layout mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    GOLDFISH_CHECK(a[i].same_shape(b[i]), "snapshot shape mismatch");
+    for (std::size_t j = 0; j < a[i].numel(); ++j) {
+      const double d = double(a[i][j]) - double(b[i][j]);
+      acc += d * d;
+    }
+  }
+  return static_cast<float>(acc);
+}
+
+}  // namespace goldfish::nn

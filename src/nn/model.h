@@ -1,0 +1,82 @@
+// Model: the unit the FL and unlearning layers operate on.
+//
+// A Model owns a root layer (usually Sequential) plus metadata, and exposes
+// the whole-model operations the paper's algorithms need: parameter
+// snapshot/restore (ω in Algorithm 1), gradient reset, cloning (teacher ←
+// global model), and parameter-space arithmetic used by shard aggregation
+// (Eq. 8–10) and server aggregation (Eq. 13).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace goldfish::nn {
+
+class Model {
+ public:
+  Model() = default;
+  Model(std::string arch_name, std::unique_ptr<Layer> root, long num_classes);
+
+  Model(const Model& other);
+  Model& operator=(const Model& other);
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  bool valid() const { return root_ != nullptr; }
+  const std::string& arch_name() const { return arch_name_; }
+  long num_classes() const { return num_classes_; }
+
+  /// Forward pass producing logits (N, num_classes).
+  Tensor forward(const Tensor& x, bool train = true) {
+    return root_->forward(x, train);
+  }
+
+  /// Backpropagate a logit gradient; accumulates parameter gradients.
+  Tensor backward(const Tensor& grad_logits) {
+    return root_->backward(grad_logits);
+  }
+
+  /// All parameters (including batch-norm running stats, whose grad is null).
+  std::vector<ParamRef> params() { return root_->params(); }
+
+  /// Zero every gradient accumulator.
+  void zero_grad();
+
+  /// Number of scalar parameters (trainable + running stats).
+  std::size_t num_scalars() const;
+
+  /// Value snapshot of every parameter tensor, in params() order. This is
+  /// the ω that travels between client and server.
+  std::vector<Tensor> snapshot() const;
+
+  /// Restore parameter values from a snapshot of matching structure.
+  void load(const std::vector<Tensor>& values);
+
+ private:
+  std::string arch_name_;
+  std::unique_ptr<Layer> root_;
+  long num_classes_ = 0;
+};
+
+// -- parameter-space arithmetic over snapshots -----------------------------
+// Snapshots are plain vector<Tensor>; these helpers implement the weighted
+// sums the paper writes as Σ (|D_i|/|D|)·ω_i.
+
+/// result += scale · delta (elementwise across the whole snapshot).
+void axpy(std::vector<Tensor>& result, const std::vector<Tensor>& delta,
+          float scale);
+
+/// Weighted average of snapshots; weights need not be normalized.
+std::vector<Tensor> weighted_average(
+    const std::vector<std::vector<Tensor>>& snaps,
+    const std::vector<float>& weights);
+
+/// Squared L2 distance between two snapshots (model-space metric used in
+/// tests and the B2 baseline's trust region).
+float snapshot_distance_sq(const std::vector<Tensor>& a,
+                           const std::vector<Tensor>& b);
+
+}  // namespace goldfish::nn

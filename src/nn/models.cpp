@@ -1,0 +1,109 @@
+#include "nn/models.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace goldfish::nn {
+
+Model make_lenet5(const InputGeom& in, long num_classes, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Unflatten>(in.channels, in.height, in.width));
+  // conv1 pads so 28×28 stays 28×28 (classic LeNet on padded MNIST).
+  net->add(std::make_unique<Conv2d>(in.channels, 6, 5, 1, 2, in.height,
+                                    in.width, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2d>(2, 2));
+  const long h1 = in.height / 2, w1 = in.width / 2;
+  net->add(std::make_unique<Conv2d>(6, 16, 5, 1, 0, h1, w1, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2d>(2, 2));
+  const long h2 = (h1 - 4) / 2, w2 = (w1 - 4) / 2;
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Linear>(16 * h2 * w2, 120, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(120, num_classes, rng));
+  return Model("lenet5", std::move(net), num_classes);
+}
+
+Model make_modified_lenet5(const InputGeom& in, long num_classes, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Unflatten>(in.channels, in.height, in.width));
+  net->add(std::make_unique<Conv2d>(in.channels, 6, 5, 1, 0, in.height,
+                                    in.width, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2d>(2, 2));
+  const long h1 = (in.height - 4) / 2, w1 = (in.width - 4) / 2;
+  net->add(std::make_unique<Conv2d>(6, 16, 5, 1, 0, h1, w1, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2d>(2, 2));
+  const long h2 = (h1 - 4) / 2, w2 = (w1 - 4) / 2;
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Linear>(16 * h2 * w2, 120, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(120, 84, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(84, num_classes, rng));
+  return Model("modified_lenet5", std::move(net), num_classes);
+}
+
+Model make_resnet(const InputGeom& in, long num_classes, long depth,
+                  long base_width, Rng& rng) {
+  GOLDFISH_CHECK((depth - 2) % 6 == 0 && depth >= 8,
+                 "resnet depth must be 6n+2");
+  const long blocks_per_stage = (depth - 2) / 6;
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Unflatten>(in.channels, in.height, in.width));
+  net->add(std::make_unique<Conv2d>(in.channels, base_width, 3, 1, 1,
+                                    in.height, in.width, rng));
+  net->add(std::make_unique<BatchNorm2d>(base_width));
+  net->add(std::make_unique<ReLU>());
+
+  long channels = base_width;
+  long h = in.height, w = in.width;
+  for (long stage = 0; stage < 3; ++stage) {
+    const long out_channels = base_width << stage;
+    for (long b = 0; b < blocks_per_stage; ++b) {
+      const long stride = (stage > 0 && b == 0) ? 2 : 1;
+      net->add(std::make_unique<ResidualBlock>(channels, out_channels, stride,
+                                               h, w, rng));
+      if (stride == 2) {
+        h = (h + 1) / 2;
+        w = (w + 1) / 2;
+      }
+      channels = out_channels;
+    }
+  }
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Linear>(channels, num_classes, rng));
+  return Model("resnet" + std::to_string(depth), std::move(net), num_classes);
+}
+
+Model make_mlp(const InputGeom& in, long hidden, long num_classes, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Linear>(in.flat(), hidden, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(hidden, num_classes, rng));
+  return Model("mlp" + std::to_string(hidden), std::move(net), num_classes);
+}
+
+Model make_model(const std::string& arch, const InputGeom& in,
+                 long num_classes, Rng& rng) {
+  if (arch == "lenet5") return make_lenet5(in, num_classes, rng);
+  if (arch == "modified_lenet5")
+    return make_modified_lenet5(in, num_classes, rng);
+  if (arch == "resnet32") return make_resnet(in, num_classes, 32, 8, rng);
+  if (arch == "resnet56") return make_resnet(in, num_classes, 56, 8, rng);
+  if (arch == "resnet8") return make_resnet(in, num_classes, 8, 8, rng);
+  if (arch.rfind("mlp", 0) == 0) {
+    const long hidden = std::stol(arch.substr(3));
+    return make_mlp(in, hidden, num_classes, rng);
+  }
+  GOLDFISH_CHECK(false, "unknown architecture: " + arch);
+  return Model();  // unreachable
+}
+
+}  // namespace goldfish::nn

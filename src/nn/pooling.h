@@ -1,0 +1,36 @@
+// Spatial pooling layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace goldfish::nn {
+
+/// Max pooling with square windows; caches argmax indices for backward.
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(long kernel, long stride);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override;
+
+ private:
+  long kernel_ = 2, stride_ = 2;
+  Shape in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+/// Global average pooling: (N,C,H,W) → (N,C). Used by the ResNet heads.
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override { return "gap"; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace goldfish::nn

@@ -1,0 +1,199 @@
+#include "nn/sequential.h"
+
+#include <sstream>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+
+namespace goldfish::nn {
+
+Sequential::Sequential(const Sequential& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  return *this;
+}
+
+void Sequential::add(std::unique_ptr<Layer> layer) {
+  GOLDFISH_CHECK(layer != nullptr, "null layer");
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (ParamRef p : layers_[i]->params()) {
+      p.name = std::to_string(i) + "." + p.name;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  return std::make_unique<Sequential>(*this);
+}
+
+std::string Sequential::name() const {
+  std::ostringstream os;
+  os << "sequential[";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i) os << ", ";
+    os << layers_[i]->name();
+  }
+  os << "]";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+
+ResidualBlock::ResidualBlock(long in_channels, long out_channels, long stride,
+                             long in_h, long in_w, Rng& rng) {
+  conv1_ = std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1,
+                                    in_h, in_w, rng);
+  const long oh = (in_h + 2 - 3) / stride + 1;
+  const long ow = (in_w + 2 - 3) / stride + 1;
+  bn1_ = std::make_unique<BatchNorm2d>(out_channels);
+  relu1_ = std::make_unique<ReLU>();
+  conv2_ = std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1, oh,
+                                    ow, rng);
+  bn2_ = std::make_unique<BatchNorm2d>(out_channels);
+  has_projection_ = (stride != 1) || (in_channels != out_channels);
+  if (has_projection_) {
+    short_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, 1,
+                                           stride, 0, in_h, in_w, rng);
+    short_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+ResidualBlock::ResidualBlock(const ResidualBlock& other)
+    : conv1_(other.conv1_->clone()),
+      bn1_(other.bn1_->clone()),
+      relu1_(other.relu1_->clone()),
+      conv2_(other.conv2_->clone()),
+      bn2_(other.bn2_->clone()),
+      has_projection_(other.has_projection_) {
+  if (has_projection_) {
+    short_conv_ = other.short_conv_->clone();
+    short_bn_ = other.short_bn_->clone();
+  }
+}
+
+ResidualBlock& ResidualBlock::operator=(const ResidualBlock& other) {
+  if (this == &other) return *this;
+  ResidualBlock tmp(other);
+  std::swap(conv1_, tmp.conv1_);
+  std::swap(bn1_, tmp.bn1_);
+  std::swap(relu1_, tmp.relu1_);
+  std::swap(conv2_, tmp.conv2_);
+  std::swap(bn2_, tmp.bn2_);
+  std::swap(short_conv_, tmp.short_conv_);
+  std::swap(short_bn_, tmp.short_bn_);
+  has_projection_ = tmp.has_projection_;
+  return *this;
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool train) {
+  Tensor main = conv1_->forward(x, train);
+  main = bn1_->forward(main, train);
+  main = relu1_->forward(main, train);
+  main = conv2_->forward(main, train);
+  main = bn2_->forward(main, train);
+
+  Tensor shortcut = x;
+  if (has_projection_) {
+    shortcut = short_conv_->forward(x, train);
+    shortcut = short_bn_->forward(shortcut, train);
+  }
+  main += shortcut;
+
+  // Final ReLU done inline so we can keep its mask for backward.
+  sum_mask_ = Tensor(main.shape());
+  float* md = sum_mask_.data();
+  float* yd = main.data();
+  for (std::size_t i = 0; i < main.numel(); ++i) {
+    if (yd[i] > 0.0f) {
+      md[i] = 1.0f;
+    } else {
+      yd[i] = 0.0f;
+      md[i] = 0.0f;
+    }
+  }
+  return main;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  GOLDFISH_CHECK(grad_output.same_shape(sum_mask_), "residual grad shape");
+  Tensor g = grad_output;
+  {
+    float* gd = g.data();
+    const float* md = sum_mask_.data();
+    for (std::size_t i = 0; i < g.numel(); ++i) gd[i] *= md[i];
+  }
+  // Branch gradients: the post-add gradient flows into both paths.
+  Tensor g_main = bn2_->backward(g);
+  g_main = conv2_->backward(g_main);
+  g_main = relu1_->backward(g_main);
+  g_main = bn1_->backward(g_main);
+  g_main = conv1_->backward(g_main);
+
+  Tensor g_short = g;
+  if (has_projection_) {
+    g_short = short_bn_->backward(g_short);
+    g_short = short_conv_->backward(g_short);
+  }
+  g_main += g_short;
+  return g_main;
+}
+
+std::vector<ParamRef> ResidualBlock::params() {
+  std::vector<ParamRef> out;
+  const auto absorb = [&out](const char* prefix, Layer& l) {
+    for (ParamRef p : l.params()) {
+      p.name = std::string(prefix) + "." + p.name;
+      out.push_back(p);
+    }
+  };
+  absorb("conv1", *conv1_);
+  absorb("bn1", *bn1_);
+  absorb("conv2", *conv2_);
+  absorb("bn2", *bn2_);
+  if (has_projection_) {
+    absorb("short_conv", *short_conv_);
+    absorb("short_bn", *short_bn_);
+  }
+  return out;
+}
+
+std::unique_ptr<Layer> ResidualBlock::clone() const {
+  return std::make_unique<ResidualBlock>(*this);
+}
+
+std::string ResidualBlock::name() const {
+  std::ostringstream os;
+  os << "residual(" << conv1_->name() << (has_projection_ ? ", proj" : "")
+     << ")";
+  return os.str();
+}
+
+}  // namespace goldfish::nn

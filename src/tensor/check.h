@@ -1,0 +1,41 @@
+// Lightweight contract checking used across the library.
+//
+// Follows the C++ Core Guidelines (I.6/E.12): precondition violations are
+// programming errors surfaced as exceptions carrying enough context to debug,
+// so a bad shape in a test or bench fails loudly instead of corrupting memory.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace goldfish {
+
+/// Thrown whenever a GOLDFISH_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace goldfish
+
+/// Precondition check. Always on (the library is not perf-bound on checks):
+///   GOLDFISH_CHECK(a.rows() == b.rows(), "matmul shape mismatch");
+#define GOLDFISH_CHECK(expr, ...)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::goldfish::detail::check_failed(#expr, __FILE__, __LINE__,       \
+                                       ::std::string{__VA_ARGS__});     \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,252 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/parallel.h"
+
+namespace goldfish {
+
+namespace {
+
+void check_2d(const Tensor& t, const char* who) {
+  GOLDFISH_CHECK(t.rank() == 2, std::string(who) + " expects a 2-D tensor");
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul");
+  check_2d(b, "matmul");
+  const long m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GOLDFISH_CHECK(b.dim(0) == k, "matmul inner dims: " + a.shape_str() +
+                                    " · " + b.shape_str());
+  Tensor c({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  // ikj loop order: the inner loop is a contiguous axpy over B and C rows,
+  // which the compiler vectorizes. Rows are independent → parallel over i.
+  const long flops_per_row = k * n;
+  parallel_for(
+      m,
+      [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          for (long kk = 0; kk < k; ++kk) {
+            const float aik = A[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* Brow = B + kk * n;
+            float* Crow = C + i * n;
+            for (long j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
+          }
+        }
+      },
+      std::max(1L, (1L << 20) / std::max(1L, flops_per_row)));
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul_tn");
+  check_2d(b, "matmul_tn");
+  const long k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  GOLDFISH_CHECK(b.dim(0) == k, "matmul_tn inner dims");
+  Tensor c({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  for (long kk = 0; kk < k; ++kk) {
+    const float* Arow = A + kk * m;
+    const float* Brow = B + kk * n;
+    for (long i = 0; i < m; ++i) {
+      const float aki = Arow[i];
+      if (aki == 0.0f) continue;
+      float* Crow = C + i * n;
+      for (long j = 0; j < n; ++j) Crow[j] += aki * Brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul_nt");
+  check_2d(b, "matmul_nt");
+  const long m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  GOLDFISH_CHECK(b.dim(1) == k, "matmul_nt inner dims");
+  Tensor c({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  for (long i = 0; i < m; ++i) {
+    const float* Arow = A + i * k;
+    for (long j = 0; j < n; ++j) {
+      const float* Brow = B + j * k;
+      double acc = 0.0;
+      for (long kk = 0; kk < k; ++kk) acc += double(Arow[kk]) * Brow[kk];
+      C[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_2d(a, "transpose");
+  const long m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (long i = 0; i < m; ++i)
+    for (long j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+Tensor softmax_rows(const Tensor& logits, float temperature) {
+  check_2d(logits, "softmax_rows");
+  GOLDFISH_CHECK(temperature > 0.0f, "temperature must be positive");
+  const long rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out({rows, cols});
+  for (long i = 0; i < rows; ++i) {
+    float mx = -1e30f;
+    for (long j = 0; j < cols; ++j) mx = std::max(mx, logits.at(i, j));
+    double denom = 0.0;
+    for (long j = 0; j < cols; ++j) {
+      const float e = std::exp((logits.at(i, j) - mx) / temperature);
+      out.at(i, j) = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (long j = 0; j < cols; ++j) out.at(i, j) *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits, float temperature) {
+  check_2d(logits, "log_softmax_rows");
+  GOLDFISH_CHECK(temperature > 0.0f, "temperature must be positive");
+  const long rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out({rows, cols});
+  for (long i = 0; i < rows; ++i) {
+    float mx = -1e30f;
+    for (long j = 0; j < cols; ++j) mx = std::max(mx, logits.at(i, j));
+    double denom = 0.0;
+    for (long j = 0; j < cols; ++j)
+      denom += std::exp((logits.at(i, j) - mx) / temperature);
+    const float log_denom = static_cast<float>(std::log(denom));
+    for (long j = 0; j < cols; ++j)
+      out.at(i, j) = (logits.at(i, j) - mx) / temperature - log_denom;
+  }
+  return out;
+}
+
+std::vector<long> argmax_rows(const Tensor& t) {
+  check_2d(t, "argmax_rows");
+  const long rows = t.dim(0), cols = t.dim(1);
+  std::vector<long> out(static_cast<std::size_t>(rows));
+  for (long i = 0; i < rows; ++i) {
+    long best = 0;
+    float bv = t.at(i, 0);
+    for (long j = 1; j < cols; ++j) {
+      if (t.at(i, j) > bv) {
+        bv = t.at(i, j);
+        best = j;
+      }
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+std::vector<float> row_variance(const Tensor& t) {
+  check_2d(t, "row_variance");
+  const long rows = t.dim(0), cols = t.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(rows));
+  for (long i = 0; i < rows; ++i) {
+    double mean = 0.0;
+    for (long j = 0; j < cols; ++j) mean += t.at(i, j);
+    mean /= cols;
+    double var = 0.0;
+    for (long j = 0; j < cols; ++j) {
+      const double d = t.at(i, j) - mean;
+      var += d * d;
+    }
+    out[static_cast<std::size_t>(i)] = static_cast<float>(var / cols);
+  }
+  return out;
+}
+
+Tensor clamp_min(Tensor t, float lo) {
+  for (float& x : t.vec()) x = std::max(x, lo);
+  return t;
+}
+
+Tensor hadamard(Tensor lhs, const Tensor& rhs) {
+  GOLDFISH_CHECK(lhs.same_shape(rhs), "hadamard shape mismatch");
+  float* a = lhs.data();
+  const float* b = rhs.data();
+  for (std::size_t i = 0; i < lhs.numel(); ++i) a[i] *= b[i];
+  return lhs;
+}
+
+Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
+  GOLDFISH_CHECK(input.rank() == 4, "im2col expects (N,C,H,W)");
+  GOLDFISH_CHECK(input.dim(1) == g.in_channels && input.dim(2) == g.in_h &&
+                     input.dim(3) == g.in_w,
+                 "im2col geometry mismatch: " + input.shape_str());
+  const long N = input.dim(0);
+  const long oh = g.out_h(), ow = g.out_w();
+  const long patch = g.patch_size();
+  Tensor cols({patch, N * oh * ow});
+  float* dst = cols.data();
+  const long col_stride = N * oh * ow;
+  for (long n = 0; n < N; ++n) {
+    for (long c = 0; c < g.in_channels; ++c) {
+      for (long kh = 0; kh < g.kernel; ++kh) {
+        for (long kw = 0; kw < g.kernel; ++kw) {
+          const long row = ((c * g.kernel) + kh) * g.kernel + kw;
+          for (long y = 0; y < oh; ++y) {
+            const long iy = y * g.stride + kh - g.pad;
+            for (long x = 0; x < ow; ++x) {
+              const long ix = x * g.stride + kw - g.pad;
+              const long col = (n * oh + y) * ow + x;
+              float v = 0.0f;
+              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                v = input.at4(n, c, iy, ix);
+              dst[row * col_stride + col] = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, long batch, const Conv2dGeom& g) {
+  GOLDFISH_CHECK(cols.rank() == 2, "col2im expects a 2-D tensor");
+  const long oh = g.out_h(), ow = g.out_w();
+  const long patch = g.patch_size();
+  GOLDFISH_CHECK(cols.dim(0) == patch && cols.dim(1) == batch * oh * ow,
+                 "col2im geometry mismatch");
+  Tensor img({batch, g.in_channels, g.in_h, g.in_w});
+  const float* src = cols.data();
+  const long col_stride = batch * oh * ow;
+  for (long n = 0; n < batch; ++n) {
+    for (long c = 0; c < g.in_channels; ++c) {
+      for (long kh = 0; kh < g.kernel; ++kh) {
+        for (long kw = 0; kw < g.kernel; ++kw) {
+          const long row = ((c * g.kernel) + kh) * g.kernel + kw;
+          for (long y = 0; y < oh; ++y) {
+            const long iy = y * g.stride + kh - g.pad;
+            if (iy < 0 || iy >= g.in_h) continue;
+            for (long x = 0; x < ow; ++x) {
+              const long ix = x * g.stride + kw - g.pad;
+              if (ix < 0 || ix >= g.in_w) continue;
+              const long col = (n * oh + y) * ow + x;
+              img.at4(n, c, iy, ix) += src[row * col_stride + col];
+            }
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace goldfish

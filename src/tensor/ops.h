@@ -1,0 +1,76 @@
+// Free-function kernels over Tensor: matmul, softmax family, reductions,
+// and the im2col/col2im pair that backs convolution.
+//
+// All functions are pure (value in, value out) unless the name says
+// otherwise; shape preconditions throw CheckError.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace goldfish {
+
+// -- linear algebra --------------------------------------------------------
+
+/// C = A(m×k) · B(k×n). Plain blocked triple loop — fast enough at repro
+/// scale and trivially correct.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = Aᵀ(k×m)ᵀ · B(k×n) = (m×n); avoids materializing the transpose.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A(m×k) · Bᵀ(n×k)ᵀ = (m×n); avoids materializing the transpose.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Transposed copy of a 2-D tensor.
+Tensor transpose(const Tensor& a);
+
+// -- rowwise softmax family --------------------------------------------
+
+/// Rowwise softmax of a 2-D tensor of logits, with temperature T
+/// (Eq. 3/4 of the paper): p_ij = exp(z_ij / T) / Σ_k exp(z_ik / T).
+/// Numerically stabilized by max subtraction.
+Tensor softmax_rows(const Tensor& logits, float temperature = 1.0f);
+
+/// Rowwise log-softmax (stable), temperature-scaled.
+Tensor log_softmax_rows(const Tensor& logits, float temperature = 1.0f);
+
+/// Rowwise argmax of a 2-D tensor; returns one index per row.
+std::vector<long> argmax_rows(const Tensor& t);
+
+/// Per-row variance of a 2-D tensor (population variance, ÷C).
+/// Used by the confusion loss (Eq. 2) on prediction vectors.
+std::vector<float> row_variance(const Tensor& t);
+
+// -- elementwise -------------------------------------------------------
+
+/// Elementwise maximum with a scalar (ReLU building block).
+Tensor clamp_min(Tensor t, float lo);
+
+/// Elementwise product (Hadamard).
+Tensor hadamard(Tensor lhs, const Tensor& rhs);
+
+// -- convolution lowering ----------------------------------------------
+
+/// Parameters of a 2-D convolution / pooling window.
+struct Conv2dGeom {
+  long in_channels = 0;
+  long in_h = 0, in_w = 0;
+  long kernel = 0;   // square kernels only — all paper models use them
+  long stride = 1;
+  long pad = 0;
+
+  long out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  long out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// Rows of the im2col matrix: C·K·K.
+  long patch_size() const { return in_channels * kernel * kernel; }
+};
+
+/// Lower a batch image tensor (N,C,H,W) to a matrix of shape
+/// (C·K·K, N·outH·outW) so convolution becomes one matmul.
+Tensor im2col(const Tensor& input, const Conv2dGeom& g);
+
+/// Adjoint of im2col: scatter a (C·K·K, N·outH·outW) matrix of patch
+/// gradients back to an image-shaped (N,C,H,W) gradient.
+Tensor col2im(const Tensor& cols, long batch, const Conv2dGeom& g);
+
+}  // namespace goldfish

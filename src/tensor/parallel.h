@@ -1,0 +1,42 @@
+// Minimal data parallelism helper.
+//
+// Heavy kernels (matmul over im2col matrices) split their row range across a
+// few std::threads. Threads are spawned per call: at the sizes where the
+// threshold fires, spawn cost (~tens of µs) is noise, and per-call threads
+// avoid interaction with the FL simulator's own client-level thread pool
+// (no shared queues → no oversubscription deadlocks, merely brief
+// oversubscription, which the OS scheduler handles fine).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace goldfish {
+
+/// Run fn(begin, end) over [0, n) split into roughly equal contiguous chunks.
+/// Falls back to a single inline call when n < min_per_thread.
+inline void parallel_for(long n, const std::function<void(long, long)>& fn,
+                         long min_per_thread = 1024) {
+  if (n <= 0) return;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const long max_threads = static_cast<long>(std::min<unsigned>(hw, 8));
+  const long threads = std::clamp(n / min_per_thread, 1L, max_threads);
+  if (threads == 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  const long chunk = (n + threads - 1) / threads;
+  for (long t = 0; t < threads; ++t) {
+    const long lo = t * chunk;
+    const long hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace goldfish

@@ -1,0 +1,14 @@
+#include "tensor/rng.h"
+
+#include <numeric>
+
+namespace goldfish {
+
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+  return perm;
+}
+
+}  // namespace goldfish

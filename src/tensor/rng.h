@@ -1,0 +1,88 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (weight init, data synthesis,
+// client sampling, shard assignment) draws from an explicitly seeded Rng so
+// experiments and tests are bit-reproducible across runs and machines.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace goldfish {
+
+/// SplitMix64-based generator with normal/uniform helpers.
+///
+/// SplitMix64 passes BigCrush, needs only 64 bits of state, and — unlike
+/// std::mt19937 — has an implementation-pinned output sequence, which keeps
+/// synthetic datasets identical across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64 step).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform float in [0, 1).
+  float uniform() {
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  float normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    // Rejection-free polar form would also work; classic Box–Muller keeps
+    // the state evolution simple and deterministic.
+    float u1 = uniform();
+    float u2 = uniform();
+    if (u1 < 1e-12f) u1 = 1e-12f;
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 6.28318530717958647692f * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with given mean and standard deviation.
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(float p) { return uniform() < p; }
+
+  /// Fisher–Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A derived generator; lets one seed fan out into independent streams
+  /// (e.g. one per client) without correlated sequences.
+  Rng split() { return Rng(next_u64() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+ private:
+  std::uint64_t state_;
+  bool has_cached_ = false;
+  float cached_ = 0.0f;
+};
+
+/// Returns a shuffled identity permutation [0, n).
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng);
+
+}  // namespace goldfish

@@ -1,0 +1,97 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace goldfish {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31544647;  // "GFT1"
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  GOLDFISH_CHECK(bool(is), "truncated tensor stream");
+  return v;
+}
+
+void write_i64(std::ostream& os, std::int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::int64_t read_i64(std::istream& is) {
+  std::int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  GOLDFISH_CHECK(bool(is), "truncated tensor stream");
+  return v;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_u32(os, kMagic);
+  write_u32(os, static_cast<std::uint32_t>(t.rank()));
+  for (std::size_t i = 0; i < t.rank(); ++i) write_i64(os, t.dim(i));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  GOLDFISH_CHECK(bool(os), "tensor write failed");
+}
+
+Tensor read_tensor(std::istream& is) {
+  GOLDFISH_CHECK(read_u32(is) == kMagic, "bad tensor magic");
+  const std::uint32_t rank = read_u32(is);
+  GOLDFISH_CHECK(rank <= 8, "implausible tensor rank");
+  Shape shape(rank);
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    shape[i] = read_i64(is);
+    GOLDFISH_CHECK(shape[i] >= 0 && shape[i] < (1L << 32), "bad dim");
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  GOLDFISH_CHECK(bool(is), "truncated tensor payload");
+  return t;
+}
+
+void save_tensors(const std::string& path, const std::vector<Tensor>& ts) {
+  std::ofstream os(path, std::ios::binary);
+  GOLDFISH_CHECK(os.is_open(), "cannot open for write: " + path);
+  write_u32(os, static_cast<std::uint32_t>(ts.size()));
+  for (const Tensor& t : ts) write_tensor(os, t);
+}
+
+std::vector<Tensor> load_tensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  GOLDFISH_CHECK(is.is_open(), "cannot open for read: " + path);
+  const std::uint32_t n = read_u32(is);
+  GOLDFISH_CHECK(n < (1u << 20), "implausible tensor count");
+  std::vector<Tensor> ts;
+  ts.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ts.push_back(read_tensor(is));
+  return ts;
+}
+
+std::vector<Tensor> roundtrip_through_bytes(const std::vector<Tensor>& ts,
+                                            std::size_t* bytes_on_wire) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_u32(ss, static_cast<std::uint32_t>(ts.size()));
+  for (const Tensor& t : ts) write_tensor(ss, t);
+  const std::string buf = ss.str();
+  if (bytes_on_wire != nullptr) *bytes_on_wire = buf.size();
+  std::stringstream in(buf, std::ios::in | std::ios::binary);
+  const std::uint32_t n = read_u32(in);
+  std::vector<Tensor> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(read_tensor(in));
+  return out;
+}
+
+}  // namespace goldfish

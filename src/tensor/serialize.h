@@ -1,0 +1,33 @@
+// Binary (de)serialization of tensors and parameter lists.
+//
+// Format: little-endian, magic "GFT1", rank, dims, raw float payload. Used
+// for model checkpoints (shard snapshots in the optimization module) and for
+// shipping client updates through the in-process FL "network".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace goldfish {
+
+/// Write one tensor to a binary stream. Throws on stream failure.
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/// Read one tensor from a binary stream. Throws on malformed input.
+Tensor read_tensor(std::istream& is);
+
+/// Write a parameter list (e.g. Model::parameters snapshot) to a file.
+void save_tensors(const std::string& path, const std::vector<Tensor>& ts);
+
+/// Read a parameter list back. Throws if the file is missing or malformed.
+std::vector<Tensor> load_tensors(const std::string& path);
+
+/// Round-trip through an in-memory buffer; used by the FL transport to model
+/// the serialize-upload-deserialize path clients take in a real deployment.
+std::vector<Tensor> roundtrip_through_bytes(const std::vector<Tensor>& ts,
+                                            std::size_t* bytes_on_wire);
+
+}  // namespace goldfish

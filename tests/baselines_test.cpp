@@ -1,0 +1,125 @@
+// Baselines B1 (retrain from scratch), B2 (rapid retraining), and B3
+// (incompetent teacher).
+#include <gtest/gtest.h>
+
+#include "baselines/incompetent_teacher.h"
+#include "baselines/rapid_retrain.h"
+#include "baselines/retrain_scratch.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/evaluation.h"
+#include "nn/models.h"
+
+namespace goldfish {
+namespace {
+
+struct BaselineFixture {
+  data::TrainTest tt;
+  std::vector<data::Dataset> parts;
+  nn::Model trained;
+  nn::Model fresh;
+
+  BaselineFixture()
+      : tt(data::make_synthetic(
+            data::default_spec(data::DatasetKind::Mnist, 81, 400, 100))) {
+    Rng rng(82);
+    parts = data::partition_iid(tt.train, 2, rng);
+    trained = nn::make_mlp({1, 28, 28}, 32, 10, rng);
+    fresh = trained;  // same init
+    fl::TrainOptions opts;
+    opts.epochs = 10;
+    opts.batch_size = 50;
+    opts.lr = 0.05f;
+    fl::train_local(trained, tt.train, opts);
+    Rng rng2(83);
+    fresh = nn::make_mlp({1, 28, 28}, 32, 10, rng2);
+  }
+};
+
+BaselineFixture& fixture() {
+  static BaselineFixture f;
+  return f;
+}
+
+TEST(B1RetrainScratch, ReachesUsefulAccuracy) {
+  auto& f = fixture();
+  fl::FlConfig cfg;
+  cfg.local.epochs = 3;
+  cfg.local.batch_size = 50;
+  cfg.local.lr = 0.05f;
+  nn::Model out;
+  const auto rounds =
+      baselines::retrain_from_scratch(f.fresh, f.parts, f.tt.test, cfg, 3,
+                                      &out);
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_GT(rounds.back().global_accuracy, 35.0);
+  EXPECT_TRUE(out.valid());
+  EXPECT_NEAR(metrics::accuracy(out, f.tt.test),
+              rounds.back().global_accuracy, 1e-6);
+}
+
+TEST(B2DiagonalFim, NonNegativeAndShaped) {
+  auto& f = fixture();
+  const auto ce = losses::make_hard_loss("cross_entropy");
+  nn::Model m = f.trained;
+  const auto fim = baselines::diagonal_fim(m, f.tt.train, *ce);
+  auto params = m.params();
+  ASSERT_EQ(fim.size(), params.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < fim.size(); ++i) {
+    ASSERT_TRUE(fim[i].same_shape(*params[i].value));
+    for (std::size_t j = 0; j < fim[i].numel(); ++j) {
+      EXPECT_GE(fim[i][j], 0.0f);
+      total += fim[i][j];
+    }
+  }
+  EXPECT_GT(total, 0.0);  // a trained model still has nonzero gradients
+}
+
+TEST(B2RapidRetrain, ConvergesAtLeastAsFastAsB1Start) {
+  auto& f = fixture();
+  baselines::RapidRetrainConfig cfg;
+  cfg.fl.local.epochs = 3;
+  cfg.fl.local.batch_size = 50;
+  cfg.fl.local.lr = 0.05f;
+  nn::Model trained = f.trained;
+  nn::Model out;
+  const auto rounds = baselines::rapid_retrain(f.fresh, trained, f.parts,
+                                               f.tt.test, cfg, 3, &out);
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_GT(rounds.back().global_accuracy, 35.0);
+}
+
+TEST(B3IncompetentTeacher, PreservesUtilityOnRemaining) {
+  auto& f = fixture();
+  baselines::IncompetentTeacherConfig cfg;
+  cfg.fl.local.epochs = 2;
+  cfg.fl.local.batch_size = 50;
+  cfg.fl.local.lr = 0.02f;
+  Rng rng(84);
+  nn::Model incompetent = nn::make_mlp({1, 28, 28}, 32, 10, rng);
+  // No removed data: pure competent-teacher distillation, should keep
+  // accuracy near the trained model's.
+  std::vector<data::Dataset> removed(f.parts.size());
+  nn::Model out;
+  const auto rounds = baselines::incompetent_teacher_unlearn(
+      f.trained, incompetent, f.parts, removed, f.tt.test, cfg, 2, &out);
+  const double trained_acc = metrics::accuracy(
+      const_cast<nn::Model&>(f.trained), f.tt.test);
+  EXPECT_GT(rounds.back().global_accuracy, 0.75 * trained_acc);
+}
+
+TEST(B3IncompetentTeacher, MismatchedClientVectorsThrow) {
+  auto& f = fixture();
+  baselines::IncompetentTeacherConfig cfg;
+  Rng rng(85);
+  nn::Model incompetent = nn::make_mlp({1, 28, 28}, 32, 10, rng);
+  std::vector<data::Dataset> removed(1);  // wrong size
+  EXPECT_THROW(baselines::incompetent_teacher_unlearn(
+                   f.trained, incompetent, f.parts, removed, f.tt.test, cfg,
+                   1),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace goldfish

@@ -1,0 +1,190 @@
+// Metrics: accuracy/ASR/MSE on models with known behaviour, and the
+// statistical comparison metrics of Tables VII–IX.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "fl/trainer.h"
+#include "metrics/divergence.h"
+#include "metrics/evaluation.h"
+#include "nn/models.h"
+
+namespace goldfish {
+namespace {
+
+/// A freshly trained small MLP on an easy synthetic set: gives us a model
+/// whose accuracy is far above chance, so metric directions are testable.
+struct TrainedFixture {
+  data::TrainTest tt;
+  nn::Model model;
+
+  TrainedFixture()
+      : tt(data::make_synthetic(
+            data::default_spec(data::DatasetKind::Mnist, 21, 400, 200))),
+        model([] {
+          Rng rng(22);
+          return nn::make_mlp({1, 28, 28}, 32, 10, rng);
+        }()) {
+    fl::TrainOptions opts;
+    opts.epochs = 8;
+    opts.lr = 0.01f;
+    fl::train_local(model, tt.train, opts);
+  }
+};
+
+TrainedFixture& fixture() {
+  static TrainedFixture f;
+  return f;
+}
+
+TEST(Accuracy, TrainedModelBeatsChance) {
+  auto& f = fixture();
+  const double acc = metrics::accuracy(f.model, f.tt.test);
+  EXPECT_GT(acc, 50.0);  // chance = 10%
+  EXPECT_LE(acc, 100.0);
+}
+
+TEST(Accuracy, UntrainedModelNearChance) {
+  auto& f = fixture();
+  Rng rng(23);
+  nn::Model fresh = nn::make_mlp({1, 28, 28}, 32, 10, rng);
+  const double acc = metrics::accuracy(fresh, f.tt.test);
+  EXPECT_LT(acc, 35.0);
+}
+
+TEST(Accuracy, EmptyDatasetThrows) {
+  auto& f = fixture();
+  data::Dataset empty;
+  EXPECT_THROW(metrics::accuracy(f.model, empty), CheckError);
+}
+
+TEST(Mse, LowerForBetterModel) {
+  auto& f = fixture();
+  Rng rng(24);
+  nn::Model fresh = nn::make_mlp({1, 28, 28}, 32, 10, rng);
+  const double trained = metrics::mse(f.model, f.tt.test);
+  const double untrained = metrics::mse(fresh, f.tt.test);
+  EXPECT_LT(trained, untrained);
+  EXPECT_GT(trained, 0.0);
+}
+
+TEST(MeanPrediction, IsDistribution) {
+  auto& f = fixture();
+  const auto mean = metrics::mean_prediction(f.model, f.tt.test);
+  ASSERT_EQ(mean.size(), 10u);
+  double s = 0.0;
+  for (double v : mean) {
+    EXPECT_GE(v, 0.0);
+    s += v;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-4);
+}
+
+TEST(ConfidenceSeries, OnePerSampleInUnitRange) {
+  auto& f = fixture();
+  const auto conf = metrics::confidence_series(f.model, f.tt.test);
+  EXPECT_EQ(conf.size(), static_cast<std::size_t>(f.tt.test.size()));
+  for (double c : conf) {
+    EXPECT_GE(c, 1.0 / 10 - 1e-9);
+    EXPECT_LE(c, 1.0 + 1e-9);
+  }
+}
+
+TEST(AttackSuccessRate, EmptyProbeIsZero) {
+  auto& f = fixture();
+  data::Dataset empty;
+  EXPECT_EQ(metrics::attack_success_rate(f.model, empty), 0.0);
+}
+
+// -- divergence metrics -----------------------------------------------------
+
+TEST(Jsd, IdenticalDistributionsAreZero) {
+  const std::vector<double> p{0.2, 0.3, 0.5};
+  EXPECT_NEAR(metrics::jensen_shannon_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Jsd, DisjointDistributionsAreLn2) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.0, 1.0};
+  EXPECT_NEAR(metrics::jensen_shannon_divergence(p, q), std::log(2.0), 1e-9);
+}
+
+TEST(Jsd, SymmetricAndNormalizing) {
+  const std::vector<double> p{2.0, 6.0, 2.0};  // unnormalized on purpose
+  const std::vector<double> q{1.0, 1.0, 8.0};
+  const double pq = metrics::jensen_shannon_divergence(p, q);
+  const double qp = metrics::jensen_shannon_divergence(q, p);
+  EXPECT_NEAR(pq, qp, 1e-12);
+  EXPECT_GT(pq, 0.0);
+  EXPECT_LT(pq, std::log(2.0));
+}
+
+TEST(Jsd, LengthMismatchThrows) {
+  EXPECT_THROW(
+      metrics::jensen_shannon_divergence({0.5, 0.5}, {1.0, 0.0, 0.0}),
+      CheckError);
+}
+
+TEST(L2Distance, KnownValue) {
+  EXPECT_NEAR(metrics::l2_distance({0.0, 0.0}, {3.0, 4.0}), 5.0, 1e-12);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x (uniform CDF)
+  EXPECT_NEAR(metrics::incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-9);
+  // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a)
+  const double v = metrics::incomplete_beta(2.5, 1.5, 0.4);
+  EXPECT_NEAR(v, 1.0 - metrics::incomplete_beta(1.5, 2.5, 0.6), 1e-9);
+  EXPECT_NEAR(metrics::incomplete_beta(2.0, 3.0, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(metrics::incomplete_beta(2.0, 3.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(WelchTTest, SameDistributionHighP) {
+  Rng rng(25);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.normal(0.0f, 1.0f));
+    b.push_back(rng.normal(0.0f, 1.0f));
+  }
+  const auto r = metrics::welch_ttest(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(WelchTTest, ShiftedMeansLowP) {
+  Rng rng(26);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.normal(0.0f, 1.0f));
+    b.push_back(rng.normal(1.0f, 1.0f));
+  }
+  const auto r = metrics::welch_ttest(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_LT(r.t_statistic, 0.0);  // a's mean is lower
+}
+
+TEST(WelchTTest, KnownHandComputedValue) {
+  // Hand computation: means 21.0 vs 23.3667, s²/n sum 3.3679 →
+  // t = −2.3667/1.8352 = −1.2896, Welch df ≈ 7.64, two-sided p ≈ 0.234.
+  const std::vector<double> a{27.5, 21.0, 19.0, 23.6, 17.0, 17.9};
+  const std::vector<double> b{27.1, 22.0, 20.8, 23.4, 23.4, 23.5};
+  const auto r = metrics::welch_ttest(a, b);
+  EXPECT_NEAR(r.t_statistic, -1.2896, 0.001);
+  EXPECT_NEAR(r.degrees_of_freedom, 7.64, 0.05);
+  EXPECT_NEAR(r.p_value, 0.234, 0.01);
+}
+
+TEST(WelchTTest, DegenerateZeroVariance) {
+  const std::vector<double> a{1.0, 1.0, 1.0};
+  const std::vector<double> same{1.0, 1.0, 1.0};
+  const std::vector<double> diff{2.0, 2.0, 2.0};
+  EXPECT_NEAR(metrics::welch_ttest(a, same).p_value, 1.0, 1e-12);
+  EXPECT_NEAR(metrics::welch_ttest(a, diff).p_value, 0.0, 1e-12);
+}
+
+TEST(WelchTTest, TooFewSamplesThrows) {
+  EXPECT_THROW(metrics::welch_ttest({1.0}, {1.0, 2.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace goldfish

@@ -1,0 +1,213 @@
+// Unit tests for tensor kernels: matmul family, softmax, reductions,
+// im2col/col2im.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace goldfish {
+namespace {
+
+TEST(Matmul, KnownProduct) {
+  Tensor a = Tensor::from2d({{1, 2}, {3, 4}});
+  Tensor b = Tensor::from2d({{5, 6}, {7, 8}});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Matmul, RectangularShapes) {
+  Rng rng(1);
+  Tensor a = Tensor::randn({3, 5}, rng);
+  Tensor b = Tensor::randn({5, 7}, rng);
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.dim(0), 3);
+  EXPECT_EQ(c.dim(1), 7);
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), CheckError);
+}
+
+TEST(Matmul, TnMatchesExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({4, 3}, rng);  // will be used as aᵀ (3x4)
+  Tensor b = Tensor::randn({4, 5}, rng);
+  Tensor expect = matmul(transpose(a), b);
+  Tensor got = matmul_tn(a, b);
+  ASSERT_TRUE(got.same_shape(expect));
+  for (std::size_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-4f);
+}
+
+TEST(Matmul, NtMatchesExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({4, 3}, rng);
+  Tensor b = Tensor::randn({5, 3}, rng);  // used as bᵀ (3x5)
+  Tensor expect = matmul(a, transpose(b));
+  Tensor got = matmul_nt(a, b);
+  ASSERT_TRUE(got.same_shape(expect));
+  for (std::size_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-4f);
+}
+
+TEST(Matmul, LargeParallelPathMatchesSmall) {
+  // Exercise the parallel_for path (rows above the threshold) against the
+  // same computation done row by row.
+  Rng rng(4);
+  Tensor a = Tensor::randn({64, 33}, rng);
+  Tensor b = Tensor::randn({33, 47}, rng);
+  Tensor whole = matmul(a, b);
+  for (long i : {0L, 17L, 63L}) {
+    Tensor row({1, 33});
+    for (long k = 0; k < 33; ++k) row.at(0, k) = a.at(i, k);
+    Tensor expect = matmul(row, b);
+    for (long j = 0; j < 47; ++j)
+      EXPECT_NEAR(whole.at(i, j), expect.at(0, j), 1e-4f);
+  }
+}
+
+TEST(Transpose, RoundTrip) {
+  Rng rng(5);
+  Tensor a = Tensor::randn({3, 6}, rng);
+  Tensor tt = transpose(transpose(a));
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(tt[i], a[i]);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(6);
+  Tensor logits = Tensor::randn({5, 9}, rng, 0.0f, 4.0f);
+  Tensor p = softmax_rows(logits);
+  for (long i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (long j = 0; j < 9; ++j) {
+      EXPECT_GT(p.at(i, j), 0.0f);
+      s += p.at(i, j);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, TemperatureSmooths) {
+  Tensor logits = Tensor::from2d({{4.0f, 0.0f, 0.0f}});
+  Tensor sharp = softmax_rows(logits, 1.0f);
+  Tensor smooth = softmax_rows(logits, 5.0f);
+  EXPECT_GT(sharp.at(0, 0), smooth.at(0, 0));
+  EXPECT_LT(sharp.at(0, 1), smooth.at(0, 1));
+}
+
+TEST(Softmax, NumericalStabilityWithHugeLogits) {
+  Tensor logits = Tensor::from2d({{1000.0f, 999.0f}});
+  Tensor p = softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(p.at(0, 0)));
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0f, 1e-5f);
+  EXPECT_GT(p.at(0, 0), p.at(0, 1));
+}
+
+TEST(Softmax, NonPositiveTemperatureThrows) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_rows(logits, 0.0f), CheckError);
+  EXPECT_THROW(log_softmax_rows(logits, -1.0f), CheckError);
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax) {
+  Rng rng(7);
+  Tensor logits = Tensor::randn({4, 6}, rng, 0.0f, 3.0f);
+  Tensor p = softmax_rows(logits, 2.0f);
+  Tensor lp = log_softmax_rows(logits, 2.0f);
+  for (std::size_t i = 0; i < p.numel(); ++i)
+    EXPECT_NEAR(lp[i], std::log(p[i]), 1e-5f);
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  Tensor t = Tensor::from2d({{1, 5, 2}, {9, 0, 3}});
+  const auto idx = argmax_rows(t);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(RowVariance, UniformRowIsZero) {
+  Tensor t = Tensor::from2d({{0.25f, 0.25f, 0.25f, 0.25f}});
+  EXPECT_NEAR(row_variance(t)[0], 0.0f, 1e-9f);
+}
+
+TEST(RowVariance, KnownValue) {
+  Tensor t = Tensor::from2d({{1.0f, 0.0f}});
+  // mean 0.5, var = ((0.5)²+(0.5)²)/2 = 0.25
+  EXPECT_NEAR(row_variance(t)[0], 0.25f, 1e-6f);
+}
+
+TEST(ClampMin, Relu) {
+  Tensor t = Tensor::from({-1, 0, 2});
+  Tensor r = clamp_min(t, 0.0f);
+  EXPECT_FLOAT_EQ(r[0], 0.0f);
+  EXPECT_FLOAT_EQ(r[2], 2.0f);
+}
+
+TEST(Hadamard, Elementwise) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({4, 5, 6});
+  Tensor c = hadamard(a, b);
+  EXPECT_FLOAT_EQ(c[1], 10.0f);
+}
+
+TEST(Im2col, IdentityKernelGeometry) {
+  // 1x1 kernel, stride 1: im2col should reproduce the image as rows.
+  Conv2dGeom g{2, 3, 3, 1, 1, 0};
+  Rng rng(8);
+  Tensor img = Tensor::randn({2, 2, 3, 3}, rng);
+  Tensor cols = im2col(img, g);
+  EXPECT_EQ(cols.dim(0), 2);       // C·K·K = 2
+  EXPECT_EQ(cols.dim(1), 2 * 9);   // N·oh·ow
+  // Channel 0 of sample 0, pixel (1,2):
+  EXPECT_FLOAT_EQ(cols.at(0, 1 * 3 + 2), img.at4(0, 0, 1, 2));
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  Conv2dGeom g{1, 2, 2, 3, 1, 1};
+  Tensor img = Tensor::ones({1, 1, 2, 2});
+  Tensor cols = im2col(img, g);
+  // Top-left output position, kernel cell (0,0) reads padded zero.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0f);
+  // Center kernel cell (1,1) reads the actual pixel.
+  EXPECT_FLOAT_EQ(cols.at(4, 0), 1.0f);
+}
+
+TEST(Im2colCol2im, AdjointDotProductProperty) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining property of an adjoint
+  // pair; guarantees conv backward is the true gradient of conv forward.
+  Conv2dGeom g{3, 6, 5, 3, 2, 1};
+  Rng rng(9);
+  Tensor x = Tensor::randn({2, 3, 6, 5}, rng);
+  Tensor cx = im2col(x, g);
+  Tensor y = Tensor::randn(cx.shape(), rng);
+  Tensor ay = col2im(y, 2, g);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cx.numel(); ++i)
+    lhs += double(cx[i]) * y[i];
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    rhs += double(x[i]) * ay[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2col, GeometryMismatchThrows) {
+  Conv2dGeom g{1, 4, 4, 3, 1, 0};
+  Tensor img({1, 2, 4, 4});  // wrong channel count
+  EXPECT_THROW(im2col(img, g), CheckError);
+}
+
+TEST(Conv2dGeom, OutputDims) {
+  Conv2dGeom g{3, 32, 32, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 16);
+  EXPECT_EQ(g.out_w(), 16);
+  EXPECT_EQ(g.patch_size(), 27);
+}
+
+}  // namespace
+}  // namespace goldfish

@@ -1,0 +1,82 @@
+// Tensor serialization: stream round-trips, file round-trips, corruption.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "tensor/serialize.h"
+
+namespace goldfish {
+namespace {
+
+TEST(Serialize, StreamRoundTrip) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_tensor(ss, t);
+  Tensor u = read_tensor(ss);
+  ASSERT_TRUE(u.same_shape(t));
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(u[i], t[i]);
+}
+
+TEST(Serialize, EmptyTensorRoundTrip) {
+  Tensor t({0});
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_tensor(ss, t);
+  Tensor u = read_tensor(ss);
+  EXPECT_EQ(u.numel(), 0u);
+  EXPECT_EQ(u.rank(), 1u);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  const std::uint32_t junk = 0xDEADBEEF;
+  ss.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  ss.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  EXPECT_THROW(read_tensor(ss), CheckError);
+}
+
+TEST(Serialize, TruncatedPayloadThrows) {
+  Rng rng(2);
+  Tensor t = Tensor::randn({10}, rng);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_tensor(ss, t);
+  std::string buf = ss.str();
+  buf.resize(buf.size() - 8);  // chop the tail
+  std::stringstream cut(buf, std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_tensor(cut), CheckError);
+}
+
+TEST(Serialize, FileSaveLoad) {
+  Rng rng(3);
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::randn({4, 4}, rng));
+  ts.push_back(Tensor::from({1, 2, 3}));
+  const std::string path = "/tmp/goldfish_serialize_test.bin";
+  save_tensors(path, ts);
+  auto back = load_tensors(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0].same_shape(ts[0]));
+  EXPECT_FLOAT_EQ(back[1][2], 3.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_tensors("/tmp/definitely_missing_goldfish.bin"),
+               CheckError);
+}
+
+TEST(Serialize, RoundtripThroughBytesCountsWire) {
+  Rng rng(4);
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::randn({8, 8}, rng));
+  std::size_t bytes = 0;
+  auto back = roundtrip_through_bytes(ts, &bytes);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_GT(bytes, 64u * sizeof(float));  // payload plus headers
+  for (std::size_t i = 0; i < ts[0].numel(); ++i)
+    EXPECT_FLOAT_EQ(back[0][i], ts[0][i]);
+}
+
+}  // namespace
+}  // namespace goldfish
