@@ -27,7 +27,6 @@ int main() {
 
   // accuracy[shards][round]
   std::vector<std::vector<double>> acc(shard_counts.size());
-  fl::ThreadPool pool;
   for (std::size_t k = 0; k < shard_counts.size(); ++k) {
     Rng rng(601 + static_cast<std::uint64_t>(k));
     Rng mrng(602);
@@ -41,7 +40,7 @@ int main() {
     nn::Model probe_model = init;
     for (long r = 0; r < rounds; ++r) {
       opts.seed = 603 + static_cast<std::uint64_t>(r);
-      mgr.train_all(opts, &pool);
+      mgr.train_all(opts);
       probe_model.load(mgr.aggregate());
       acc[k].push_back(metrics::accuracy(probe_model, tt.test));
     }

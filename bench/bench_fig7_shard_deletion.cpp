@@ -21,7 +21,6 @@ int main() {
   const long rounds = metrics::full_scale() ? 10 : 7;
   const long deletion_round = 3;
   const std::vector<long> shard_counts{1, 3, 6, 9};
-  fl::ThreadPool pool;
 
   for (float rate : {0.02f, 0.06f, 0.10f}) {
     std::vector<std::string> cols{"round"};
@@ -69,9 +68,9 @@ int main() {
           // only the affected fraction (Eq. 9).
           fl::TrainOptions reset_only = opts;
           reset_only.epochs = 0;
-          mgr.delete_rows(doomed, reset_only, &pool);
+          mgr.delete_rows(doomed, reset_only);
         } else {
-          mgr.train_all(opts, &pool);
+          mgr.train_all(opts);
         }
         probe_model.load(mgr.aggregate());
         acc[k].push_back(metrics::accuracy(probe_model, tt.test));

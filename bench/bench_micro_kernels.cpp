@@ -12,7 +12,41 @@
 namespace goldfish {
 namespace {
 
-void BM_Matmul(benchmark::State& state) {
+/// The seed's matmul kernel (pre-runtime ikj triple loop, no cache
+/// blocking), kept verbatim as the old-vs-new baseline: items_per_second of
+/// BM_GemmSeedNaive vs BM_Gemm at equal sizes is the backbone speedup.
+Tensor seed_naive_matmul(const Tensor& a, const Tensor& b) {
+  const long m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  for (long i = 0; i < m; ++i) {
+    for (long kk = 0; kk < k; ++kk) {
+      const float aik = A[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* Brow = B + kk * n;
+      float* Crow = C + i * n;
+      for (long j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
+    }
+  }
+  return c;
+}
+
+void BM_GemmSeedNaive(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = seed_naive_matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmSeedNaive)->Arg(64)->Arg(128)->Arg(256)->Arg(384)->Arg(512);
+
+void BM_Gemm(benchmark::State& state) {
   const long n = state.range(0);
   Rng rng(1);
   Tensor a = Tensor::randn({n, n}, rng);
@@ -21,21 +55,49 @@ void BM_Matmul(benchmark::State& state) {
     Tensor c = matmul(a, b);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(384)->Arg(512);
 
-void BM_MatmulTn(benchmark::State& state) {
-  const long n = state.range(0);
+// Repro-relevant rectangular shapes. Conv forward lowers to
+// (outC × patch)·(patch × N·oh·ow) — short-fat; linear layers are
+// (batch × in)·(in × out) with the nt flag.
+void BM_GemmIm2colShape(benchmark::State& state) {
   Rng rng(2);
+  Tensor w = Tensor::randn({16, 27}, rng);        // 16 filters over 3·3·3
+  Tensor cols = Tensor::randn({27, 16384}, rng);  // batch 16 of 32×32
+  for (auto _ : state) {
+    Tensor c = gemm(w, cols, false, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 16 * 27 * 16384);
+}
+BENCHMARK(BM_GemmIm2colShape);
+
+void BM_GemmLinearShape(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({100, 784}, rng);
+  Tensor w = Tensor::randn({128, 784}, rng);
+  for (auto _ : state) {
+    Tensor y = gemm(x, w, false, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 100 * 784 * 128);
+}
+BENCHMARK(BM_GemmLinearShape);
+
+void BM_GemmTn(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(4);
   Tensor a = Tensor::randn({n, n}, rng);
   Tensor b = Tensor::randn({n, n}, rng);
   for (auto _ : state) {
-    Tensor c = matmul_tn(a, b);
+    Tensor c = gemm(a, b, true, false);
     benchmark::DoNotOptimize(c.data());
   }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_MatmulTn)->Arg(128);
+BENCHMARK(BM_GemmTn)->Arg(128)->Arg(256);
 
 void BM_Im2col(benchmark::State& state) {
   Conv2dGeom g{3, 32, 32, 3, 1, 1};

@@ -26,9 +26,8 @@ int main() {
 
     // Train each client's model independently and measure the spread.
     double min_acc = 100.0, max_acc = 0.0;
-    fl::ThreadPool pool;
     std::vector<double> accs(parts.size());
-    pool.parallel_map(parts.size(), [&](std::size_t c) {
+    runtime::Scheduler::global().parallel_map(parts.size(), [&](std::size_t c) {
       Rng mrng(802);
       nn::Model m = nn::make_model(prof.arch, tt.train.geom,
                                    tt.train.num_classes, mrng);

@@ -31,12 +31,11 @@ int main() {
   opts.epochs = 2;
   opts.batch_size = 50;
   opts.lr = 0.05f;
-  fl::ThreadPool pool;
 
   for (long shards : {1L, 6L}) {
     Rng rng(72);
     core::ShardManager mgr(init, tt.train, shards, rng);
-    for (int r = 0; r < 3; ++r) mgr.train_all(opts, &pool);
+    for (int r = 0; r < 3; ++r) mgr.train_all(opts);
 
     // The deletion request: 24 rows that all live in the last shard (one
     // user's data is typically colocated, which is what makes sharding pay
@@ -50,7 +49,7 @@ int main() {
               << metrics::fmt(metrics::accuracy(m, tt.test)) << "%\n";
 
     const auto t0 = Clock::now();
-    const auto report = mgr.delete_rows(doomed, opts, &pool);
+    const auto report = mgr.delete_rows(doomed, opts);
     const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                         Clock::now() - t0)
                         .count();

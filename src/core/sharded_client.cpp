@@ -22,27 +22,23 @@ ShardManager& ShardedClientFleet::manager(std::size_t client) {
 }
 
 fl::FederatedSim::ClientUpdateFn ShardedClientFleet::update_fn(
-    fl::TrainOptions base_opts, fl::ThreadPool* pool) {
-  // Note: shard retraining inside one client runs serially when the sim
-  // already parallelizes across clients (passing the sim's own pool here
-  // would deadlock — parallel_map inside parallel_map waits on itself), so
-  // `pool` should be a *separate* pool or null.
-  return [this, base_opts, pool](std::size_t client, nn::Model& upload,
-                                 const data::Dataset& /*unused*/,
-                                 long round) {
+    fl::TrainOptions base_opts, runtime::Scheduler* sched) {
+  return [this, base_opts, sched](std::size_t client, nn::Model& upload,
+                                  const data::Dataset& /*unused*/,
+                                  long round) {
     ShardManager& mgr = manager(client);
     fl::TrainOptions opts = base_opts;
     opts.seed = base_opts.seed ^ (0x5A4Dull * (client + 1)) ^
                 static_cast<std::uint64_t>(round);
-    mgr.train_all(opts, pool);
+    mgr.train_all(opts, sched);
     upload.load(mgr.aggregate());
   };
 }
 
 ShardManager::DeletionReport ShardedClientFleet::delete_rows(
     std::size_t client, const std::vector<std::size_t>& rows,
-    const fl::TrainOptions& opts, fl::ThreadPool* pool) {
-  return manager(client).delete_rows(rows, opts, pool);
+    const fl::TrainOptions& opts, runtime::Scheduler* sched) {
+  return manager(client).delete_rows(rows, opts, sched);
 }
 
 }  // namespace goldfish::core

@@ -27,16 +27,17 @@ class ShardedClientFleet {
   /// Client-update hook for FederatedSim: trains the client's shards one
   /// round and loads the Eq. 8 aggregate into the upload model. The global
   /// broadcast is intentionally ignored — shard isolation is what the
-  /// deletion guarantee rests on.
-  fl::FederatedSim::ClientUpdateFn update_fn(fl::TrainOptions base_opts,
-                                             fl::ThreadPool* pool = nullptr);
+  /// deletion guarantee rests on. Shard retraining nests inside the sim's
+  /// client-level parallelism on the same Scheduler (nullptr → global);
+  /// nested regions run inline or on free workers, never deadlocking.
+  fl::FederatedSim::ClientUpdateFn update_fn(
+      fl::TrainOptions base_opts, runtime::Scheduler* sched = nullptr);
 
   /// Apply a deletion to one client (rows index that client's original
   /// dataset). Affected shards re-initialize and retrain.
-  ShardManager::DeletionReport delete_rows(std::size_t client,
-                                           const std::vector<std::size_t>& rows,
-                                           const fl::TrainOptions& opts,
-                                           fl::ThreadPool* pool = nullptr);
+  ShardManager::DeletionReport delete_rows(
+      std::size_t client, const std::vector<std::size_t>& rows,
+      const fl::TrainOptions& opts, runtime::Scheduler* sched = nullptr);
 
  private:
   std::vector<std::unique_ptr<ShardManager>> managers_;

@@ -34,19 +34,15 @@ long ShardManager::shard_rows(long shard) const {
 }
 
 void ShardManager::train_all(const fl::TrainOptions& opts,
-                             fl::ThreadPool* pool) {
-  const auto train_one = [&](std::size_t i) {
+                             runtime::Scheduler* sched) {
+  if (sched == nullptr) sched = &runtime::Scheduler::global();
+  sched->parallel_map(shards_.size(), [&](std::size_t i) {
     Shard& s = shards_[i];
     if (s.data.empty()) return;
     fl::TrainOptions o = opts;
     o.seed = opts.seed ^ (train_seed_ + i * 0x9E3779B9ull);
     fl::train_local(s.model, s.data, o);
-  };
-  if (pool != nullptr) {
-    pool->parallel_map(shards_.size(), train_one);
-  } else {
-    for (std::size_t i = 0; i < shards_.size(); ++i) train_one(i);
-  }
+  });
   ++train_seed_;
 }
 
@@ -64,7 +60,7 @@ std::vector<Tensor> ShardManager::aggregate() const {
 
 ShardManager::DeletionReport ShardManager::delete_rows(
     const std::vector<std::size_t>& rows, const fl::TrainOptions& opts,
-    fl::ThreadPool* pool) {
+    runtime::Scheduler* sched) {
   const std::unordered_set<std::size_t> doomed(rows.begin(), rows.end());
   DeletionReport report;
 
@@ -93,7 +89,11 @@ ShardManager::DeletionReport ShardManager::delete_rows(
   // the old shard weights, so they cannot be reused. Only the *unaffected*
   // shards keep their weights (the Eq. 9 checkpoint). Parallel when several
   // shards are involved (Fig. 3).
-  const auto retrain_one = [&](std::size_t k) {
+  for (const long shard : report.affected_shards)
+    report.rows_retrained += shards_[static_cast<std::size_t>(shard)]
+                                 .data.size();
+  if (sched == nullptr) sched = &runtime::Scheduler::global();
+  sched->parallel_map(report.affected_shards.size(), [&](std::size_t k) {
     const long shard = report.affected_shards[k];
     Shard& s = shards_[static_cast<std::size_t>(shard)];
     s.model = init_;
@@ -101,16 +101,7 @@ ShardManager::DeletionReport ShardManager::delete_rows(
     fl::TrainOptions o = opts;
     o.seed = opts.seed ^ (0xDE1E7Eull + static_cast<std::size_t>(shard));
     fl::train_local(s.model, s.data, o);
-  };
-  for (const long shard : report.affected_shards)
-    report.rows_retrained += shards_[static_cast<std::size_t>(shard)]
-                                 .data.size();
-  if (pool != nullptr && report.affected_shards.size() > 1) {
-    pool->parallel_map(report.affected_shards.size(), retrain_one);
-  } else {
-    for (std::size_t k = 0; k < report.affected_shards.size(); ++k)
-      retrain_one(k);
-  }
+  });
   return report;
 }
 

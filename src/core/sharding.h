@@ -9,9 +9,9 @@
 #pragma once
 
 #include "data/dataset.h"
-#include "fl/thread_pool.h"
 #include "fl/trainer.h"
 #include "nn/model.h"
+#include "runtime/scheduler.h"
 
 namespace goldfish::core {
 
@@ -26,9 +26,13 @@ class ShardManager {
   long total_rows() const;
   long shard_rows(long shard) const;
 
-  /// Train every shard model on its own shard for `opts.epochs` (optionally
-  /// in parallel). Used both for initial training and for continued rounds.
-  void train_all(const fl::TrainOptions& opts, fl::ThreadPool* pool = nullptr);
+  /// Train every shard model on its own shard for `opts.epochs`, in
+  /// parallel on the runtime Scheduler (nullptr → the shared global pool;
+  /// nesting inside an FL client task is safe — the Scheduler runs nested
+  /// work inline or on free workers). Used both for initial training and
+  /// for continued rounds.
+  void train_all(const fl::TrainOptions& opts,
+                 runtime::Scheduler* sched = nullptr);
 
   /// Eq. 8: size-weighted average of shard models — the client's local model.
   std::vector<Tensor> aggregate() const;
@@ -49,7 +53,7 @@ class ShardManager {
   /// ignored; shards whose data empties out drop from aggregation.
   DeletionReport delete_rows(const std::vector<std::size_t>& rows,
                              const fl::TrainOptions& opts,
-                             fl::ThreadPool* pool = nullptr);
+                             runtime::Scheduler* sched = nullptr);
 
   /// Eq. 10: recover shard i's weights from the aggregate by subtracting the
   /// other shards' weighted contributions. Exposed for verification; the

@@ -17,7 +17,7 @@ GoldfishUnlearner::GoldfishUnlearner(nn::Model global, nn::Model fresh_init,
       test_(std::move(server_test)),
       cfg_(std::move(cfg)),
       aggregator_(fl::make_aggregator(cfg_.aggregator)),
-      pool_(cfg_.threads) {
+      sched_(&runtime::scheduler_for(cfg_.threads, owned_sched_)) {
   GOLDFISH_CHECK(!remaining_.empty(), "unlearner needs clients");
   removed_.resize(remaining_.size());
 }
@@ -66,7 +66,7 @@ UnlearnRoundResult GoldfishUnlearner::run_round() {
   std::atomic<long> early{0};
   std::vector<double> temps(n, 0.0);
 
-  pool_.parallel_map(n, [&](std::size_t c) {
+  sched_->parallel_map(n, [&](std::size_t c) {
     // Student starts from the current (re-initialized / partially rebuilt)
     // global model; teacher is the frozen pre-unlearning model. Each client
     // gets its own teacher replica: forward passes mutate layer caches, so
@@ -88,7 +88,7 @@ UnlearnRoundResult GoldfishUnlearner::run_round() {
   });
 
   if (aggregator_->name() == "adaptive") {
-    pool_.parallel_map(n, [&](std::size_t c) {
+    sched_->parallel_map(n, [&](std::size_t c) {
       nn::Model scratch = global_;
       scratch.load(updates[c].params);
       updates[c].mse = metrics::mse(scratch, test_);

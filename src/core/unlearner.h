@@ -23,6 +23,8 @@ struct UnlearnRequest {
 struct UnlearnConfig {
   DistillOptions distill;
   std::string aggregator = "adaptive";  ///< extension module default
+  /// 0 → shared runtime Scheduler; non-zero → private pool for client-level
+  /// tasks only (kernels stay on the global pool — see fl::FlConfig).
   std::size_t threads = 0;
   std::uint64_t seed = 17;
 };
@@ -67,7 +69,8 @@ class GoldfishUnlearner {
   data::Dataset test_;
   UnlearnConfig cfg_;
   std::unique_ptr<fl::Aggregator> aggregator_;
-  fl::ThreadPool pool_;
+  std::unique_ptr<runtime::Scheduler> owned_sched_;  // only when cfg.threads
+  runtime::Scheduler* sched_;
   long round_ = 0;
 };
 

@@ -16,7 +16,7 @@ FederatedSim::FederatedSim(nn::Model global,
       test_(std::move(server_test)),
       cfg_(std::move(cfg)),
       aggregator_(make_aggregator(cfg_.aggregator)),
-      pool_(cfg_.threads) {
+      sched_(&runtime::scheduler_for(cfg_.threads, owned_sched_)) {
   GOLDFISH_CHECK(!clients_.empty(), "simulation needs clients");
   GOLDFISH_CHECK(!test_.empty(), "simulation needs a server test set");
   // Default behaviour: Algorithm 1's LocalTraining.
@@ -40,7 +40,7 @@ RoundResult FederatedSim::run_round() {
   std::vector<double> local_acc(n, 0.0);
   std::atomic<std::size_t> bytes{0};
 
-  pool_.parallel_map(n, [&](std::size_t c) {
+  sched_->parallel_map(n, [&](std::size_t c) {
     nn::Model local = global_;  // broadcast: deep copy of global weights
     update_fn_(c, local, clients_[c], round_);
     // Upload path: serialize → wire → deserialize, counting bytes.
@@ -53,7 +53,7 @@ RoundResult FederatedSim::run_round() {
 
   // Server-side MSE scoring (Eq. 12 operates on the server's test set).
   if (aggregator_->name() == "adaptive") {
-    pool_.parallel_map(n, [&](std::size_t c) {
+    sched_->parallel_map(n, [&](std::size_t c) {
       nn::Model scratch = global_;
       scratch.load(updates[c].params);
       updates[c].mse = metrics::mse(scratch, test_);

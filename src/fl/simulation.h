@@ -5,17 +5,23 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "fl/aggregation.h"
-#include "fl/thread_pool.h"
 #include "fl/trainer.h"
+#include "runtime/scheduler.h"
 
 namespace goldfish::fl {
 
 struct FlConfig {
   TrainOptions local;                ///< per-round local training options
   std::string aggregator = "fedavg"; ///< "fedavg" | "adaptive"
-  std::size_t threads = 0;           ///< 0 → hardware concurrency
+  /// 0 → share the process-wide runtime Scheduler (the normal case; client
+  /// tasks and the kernels inside them draw from one pool). Non-zero → a
+  /// private Scheduler with that parallelism for *client-level* tasks only;
+  /// kernels inside them still use the global pool, so to pin the whole
+  /// process set GOLDFISH_THREADS instead.
+  std::size_t threads = 0;
   std::uint64_t seed = 7;
 };
 
@@ -67,7 +73,8 @@ class FederatedSim {
   data::Dataset test_;
   FlConfig cfg_;
   std::unique_ptr<Aggregator> aggregator_;
-  ThreadPool pool_;
+  std::unique_ptr<runtime::Scheduler> owned_sched_;  // only when cfg.threads
+  runtime::Scheduler* sched_;  // the pool client tasks run on
   ClientUpdateFn update_fn_;
   long round_ = 0;
 };

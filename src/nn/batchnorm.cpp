@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "runtime/scheduler.h"
+
 namespace goldfish::nn {
 
 BatchNorm2d::BatchNorm2d(long channels, float momentum, float eps)
@@ -29,7 +31,10 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   if (train) {
     cached_xhat_ = Tensor(x.shape());
     cached_inv_std_ = Tensor({C});
-    for (long c = 0; c < C; ++c) {
+    // Channels are independent (each writes its own slice of out/x̂ and its
+    // own running-stat entries) → parallel over c on the shared runtime.
+    parallel_for(C, [&](long c_lo, long c_hi) {
+    for (long c = c_lo; c < c_hi; ++c) {
       double mean = 0.0;
       for (long n = 0; n < N; ++n)
         for (long y = 0; y < H; ++y)
@@ -61,8 +66,10 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
           (1.0f - momentum_) * running_var_[std::size_t(c)] +
           momentum_ * static_cast<float>(var);
     }
+    }, /*grain=*/1);
   } else {
-    for (long c = 0; c < C; ++c) {
+    parallel_for(C, [&](long c_lo, long c_hi) {
+    for (long c = c_lo; c < c_hi; ++c) {
       const float mean = running_mean_[std::size_t(c)];
       const float inv_std =
           1.0f / std::sqrt(running_var_[std::size_t(c)] + eps_);
@@ -73,6 +80,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
             out.at4(n, c, y, xo) =
                 g * (x.at4(n, c, y, xo) - mean) * inv_std + b;
     }
+    }, /*grain=*/1);
   }
   return out;
 }
@@ -85,7 +93,8 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
              W = in_shape_[3];
   const long m = N * H * W;
   Tensor gin(in_shape_);
-  for (long c = 0; c < C; ++c) {
+  parallel_for(C, [&](long c_lo, long c_hi) {
+  for (long c = c_lo; c < c_hi; ++c) {
     // Standard batch-norm backward:
     // dx = (gamma·inv_std/m) · (m·dy − Σdy − x̂·Σ(dy·x̂))
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
@@ -112,6 +121,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
                        xh * static_cast<float>(sum_dy_xhat));
         }
   }
+  }, /*grain=*/1);
   return gin;
 }
 

@@ -53,7 +53,7 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   GOLDFISH_CHECK(x.rank() == 4, "conv expects (N,C,H,W)");
   cached_batch_ = x.dim(0);
   cached_cols_ = im2col(x, geom_);
-  Tensor flat = matmul(weight_, cached_cols_);  // (outC, N·oh·ow)
+  Tensor flat = gemm(weight_, cached_cols_, false, false);  // (outC, N·oh·ow)
   const long cols = flat.dim(1);
   for (long c = 0; c < out_channels_; ++c) {
     float* row = flat.data() + c * cols;
@@ -66,7 +66,7 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
 Tensor Conv2d::backward(const Tensor& grad_output) {
   GOLDFISH_CHECK(!cached_cols_.empty(), "backward before forward");
   const Tensor g = unpack_grad(grad_output);  // (outC, N·oh·ow)
-  grad_weight_ += matmul_nt(g, cached_cols_);
+  gemm_acc(grad_weight_, g, cached_cols_, false, true);
   const long cols = g.dim(1);
   for (long c = 0; c < out_channels_; ++c) {
     const float* row = g.data() + c * cols;
@@ -74,7 +74,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     for (long j = 0; j < cols; ++j) acc += row[j];
     grad_bias_[std::size_t(c)] += static_cast<float>(acc);
   }
-  const Tensor grad_cols = matmul_tn(weight_, g);  // (patch, N·oh·ow)
+  const Tensor grad_cols = gemm(weight_, g, true, false);  // (patch, N·oh·ow)
   return col2im(grad_cols, cached_batch_, geom_);
 }
 

@@ -22,7 +22,7 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   GOLDFISH_CHECK(x.rank() == 2 && x.dim(1) == in_,
                  "linear input shape " + x.shape_str());
   cached_input_ = x;
-  Tensor y = matmul_nt(x, weight_);  // (N, out)
+  Tensor y = gemm(x, weight_, false, true);  // (N, out)
   const long n = y.dim(0);
   for (long i = 0; i < n; ++i)
     for (long j = 0; j < out_; ++j) y.at(i, j) += bias_[std::size_t(j)];
@@ -33,13 +33,13 @@ Tensor Linear::backward(const Tensor& grad_output) {
   GOLDFISH_CHECK(grad_output.rank() == 2 && grad_output.dim(1) == out_,
                  "linear grad shape");
   GOLDFISH_CHECK(!cached_input_.empty(), "backward before forward");
-  // dW = gradᵀ · x ; db = column sums ; dx = grad · W
-  grad_weight_ += matmul_tn(grad_output, cached_input_);
+  // dW = gradᵀ · x (accumulated in place) ; db = column sums ; dx = grad · W
+  gemm_acc(grad_weight_, grad_output, cached_input_, true, false);
   const long n = grad_output.dim(0);
   for (long i = 0; i < n; ++i)
     for (long j = 0; j < out_; ++j)
       grad_bias_[std::size_t(j)] += grad_output.at(i, j);
-  return matmul(grad_output, weight_);
+  return gemm(grad_output, weight_, false, false);
 }
 
 std::vector<ParamRef> Linear::params() {

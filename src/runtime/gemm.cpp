@@ -1,0 +1,205 @@
+#include "runtime/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "runtime/scheduler.h"
+
+namespace goldfish::runtime {
+
+namespace {
+
+// Microkernel tile, sized so the accumulator block fills most of the
+// vector register file of the widest ISA the compiler targets: 8×32 under
+// AVX-512 (16 of 32 zmm accumulators), 6×16 under AVX/AVX2 (12 of 16 ymm),
+// 4×8 for plain SSE (8 of 16 xmm).
+#if defined(__AVX512F__)
+constexpr long MR = 8, NR = 32;
+#elif defined(__AVX2__) || defined(__AVX__)
+constexpr long MR = 6, NR = 16;
+#else
+constexpr long MR = 4, NR = 8;
+#endif
+constexpr long KC = 256;       // inner-dimension slice (packed panels in L1/L2)
+constexpr long MC = MR * 16;   // row panel height per parallel task
+constexpr long NC = NR * 64;   // column panel width (packed B slice in L2/L3)
+
+// Below this flop count the packing and scheduling overhead dominates;
+// run the packed loop serially on the calling thread.
+constexpr long kParallelFlops = 1L << 18;
+
+inline float elem_a(const float* A, long lda, bool trans, long i, long p) {
+  return trans ? A[p * lda + i] : A[i * lda + p];
+}
+
+inline float elem_b(const float* B, long ldb, bool trans, long p, long j) {
+  return trans ? B[j * ldb + p] : B[p * ldb + j];
+}
+
+/// Pack op(A)[i0:i0+mc, p0:p0+kc] into MR-tall micro-panels: panel ir holds
+/// kc groups of MR consecutive row elements, zero-padded past mc.
+void pack_a(const float* A, long lda, bool trans, long i0, long mc, long p0,
+            long kc, float* dst) {
+  for (long ir = 0; ir < mc; ir += MR) {
+    const long mr = std::min(MR, mc - ir);
+    for (long p = 0; p < kc; ++p) {
+      for (long i = 0; i < mr; ++i)
+        dst[i] = elem_a(A, lda, trans, i0 + ir + i, p0 + p);
+      for (long i = mr; i < MR; ++i) dst[i] = 0.0f;
+      dst += MR;
+    }
+  }
+}
+
+/// Pack op(B)[p0:p0+kc, j0:j0+nc] into NR-wide micro-panels: panel jr holds
+/// kc groups of NR consecutive column elements, zero-padded past nc.
+void pack_b(const float* B, long ldb, bool trans, long p0, long kc, long j0,
+            long nc, float* dst) {
+  for (long jr = 0; jr < nc; jr += NR) {
+    const long nr = std::min(NR, nc - jr);
+    for (long p = 0; p < kc; ++p) {
+      for (long j = 0; j < nr; ++j)
+        dst[j] = elem_b(B, ldb, trans, p0 + p, j0 + jr + j);
+      for (long j = nr; j < NR; ++j) dst[j] = 0.0f;
+      dst += NR;
+    }
+  }
+}
+
+// Register-tiled microkernel: acc(MR×NR) = Σ_p Ap[p]·Bp[p] over one packed
+// panel pair, then accumulate the valid mr×nr region into C. Written with
+// GCC/Clang vector extensions because the auto-vectorizer reliably fails
+// to promote a scalar float acc[MR][NR] into full-width registers (it
+// picked 128-bit lanes and spilled); an explicit vector accumulator block
+// pins both the width and the register residency.
+#if defined(__AVX__) || defined(__AVX512F__)
+
+#if defined(__AVX512F__)
+typedef float vecf __attribute__((vector_size(64), aligned(4)));
+#else
+typedef float vecf __attribute__((vector_size(32), aligned(4)));
+#endif
+constexpr long VL = static_cast<long>(sizeof(vecf) / sizeof(float));
+static_assert(NR == 2 * VL, "microkernel assumes two vectors per row");
+
+void micro_kernel(long kc, const float* Ap, const float* Bp, float* C,
+                  long ldc, long mr, long nr) {
+  vecf acc0[MR] = {};
+  vecf acc1[MR] = {};
+  for (long p = 0; p < kc; ++p) {
+    const vecf b0 = *reinterpret_cast<const vecf*>(Bp + p * NR);
+    const vecf b1 = *reinterpret_cast<const vecf*>(Bp + p * NR + VL);
+    const float* a = Ap + p * MR;
+    for (long i = 0; i < MR; ++i) {  // constant bound → fully unrolled
+      acc0[i] += a[i] * b0;          // scalar a[i] splats across the lanes
+      acc1[i] += a[i] * b1;
+    }
+  }
+  if (mr == MR && nr == NR) {
+    for (long i = 0; i < MR; ++i) {
+      vecf* c = reinterpret_cast<vecf*>(C + i * ldc);
+      c[0] += acc0[i];
+      c[1] += acc1[i];
+    }
+  } else {
+    for (long i = 0; i < mr; ++i) {
+      const float* row0 = reinterpret_cast<const float*>(&acc0[i]);
+      const float* row1 = reinterpret_cast<const float*>(&acc1[i]);
+      for (long j = 0; j < nr; ++j)
+        C[i * ldc + j] += j < VL ? row0[j] : row1[j - VL];
+    }
+  }
+}
+
+#else  // scalar fallback (no AVX): small tile, plain float accumulators
+
+void micro_kernel(long kc, const float* Ap, const float* Bp, float* C,
+                  long ldc, long mr, long nr) {
+  float acc[MR][NR] = {};
+  for (long p = 0; p < kc; ++p) {
+    const float* b = Bp + p * NR;
+    const float* a = Ap + p * MR;
+    for (long i = 0; i < MR; ++i) {
+      const float ai = a[i];
+      for (long j = 0; j < NR; ++j) acc[i][j] += ai * b[j];
+    }
+  }
+  for (long i = 0; i < mr; ++i)
+    for (long j = 0; j < nr; ++j) C[i * ldc + j] += acc[i][j];
+}
+
+#endif
+
+}  // namespace
+
+void sgemm(bool transa, bool transb, long m, long n, long k, const float* A,
+           long lda, const float* B, long ldb, float* C, long ldc,
+           Scheduler* sched) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (sched == nullptr) sched = &Scheduler::global();
+  const bool parallel = m * n * k >= kParallelFlops;
+
+  std::vector<float> bp(static_cast<std::size_t>(
+      ((std::min(n, NC) + NR - 1) / NR) * NR * std::min(k, KC)));
+
+  for (long jc = 0; jc < n; jc += NC) {
+    const long nc = std::min(NC, n - jc);
+    for (long pc = 0; pc < k; pc += KC) {
+      const long kc = std::min(KC, k - pc);
+      pack_b(B, ldb, transb, pc, kc, jc, nc, bp.data());
+
+      const long num_row_panels = (m + MC - 1) / MC;
+      if (num_row_panels > 1) {
+        // Tall C: split row panels across the pool (each task packs its
+        // own A panel). Both branches reduce k in the same fixed order,
+        // so the branch choice never affects the result.
+        const auto row_panel = [&](long lo, long hi) {
+          std::vector<float> ap(static_cast<std::size_t>(MC * kc));
+          for (long panel = lo; panel < hi; ++panel) {
+            const long ic = panel * MC;
+            const long mc = std::min(MC, m - ic);
+            pack_a(A, lda, transa, ic, mc, pc, kc, ap.data());
+            for (long jr = 0; jr < nc; jr += NR) {
+              const float* bpanel = bp.data() + (jr / NR) * kc * NR;
+              for (long ir = 0; ir < mc; ir += MR) {
+                micro_kernel(kc, ap.data() + (ir / MR) * kc * MR, bpanel,
+                             C + (ic + ir) * ldc + jc + jr, ldc,
+                             std::min(MR, mc - ir), std::min(NR, nc - jr));
+              }
+            }
+          }
+        };
+        if (parallel) {
+          sched->parallel_for(num_row_panels, row_panel, /*grain=*/1);
+        } else {
+          row_panel(0, num_row_panels);
+        }
+      } else {
+        // Short-fat C (m ≤ MC — conv forward is outC × N·oh·ow): a single
+        // row panel would serialize everything, so pack A once and split
+        // the NR-wide column tiles across the pool instead.
+        std::vector<float> ap(static_cast<std::size_t>(MC * kc));
+        pack_a(A, lda, transa, 0, m, pc, kc, ap.data());
+        const long num_col_tiles = (nc + NR - 1) / NR;
+        const auto col_tiles = [&](long lo, long hi) {
+          for (long tile = lo; tile < hi; ++tile) {
+            const long jr = tile * NR;
+            const float* bpanel = bp.data() + tile * kc * NR;
+            for (long ir = 0; ir < m; ir += MR) {
+              micro_kernel(kc, ap.data() + (ir / MR) * kc * MR, bpanel,
+                           C + ir * ldc + jc + jr, ldc,
+                           std::min(MR, m - ir), std::min(NR, nc - jr));
+            }
+          }
+        };
+        if (parallel && num_col_tiles > 1) {
+          sched->parallel_for(num_col_tiles, col_tiles, /*grain=*/4);
+        } else {
+          col_tiles(0, num_col_tiles);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace goldfish::runtime

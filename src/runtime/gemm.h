@@ -1,0 +1,35 @@
+// Single blocked GEMM backbone: every matrix product in the library — all
+// four transpose combinations — lowers to this one kernel.
+//
+// Algorithm (BLIS-style three-level blocking over row-major storage):
+//   for each NC-wide column panel of C:
+//     for each KC-deep slice of the inner dimension:
+//       pack op(B) slice into contiguous NR-wide micro-panels (zero-padded)
+//       for each MC-tall row panel of C (parallel across the Scheduler):
+//         pack op(A) slice into contiguous MR-tall micro-panels
+//         for each MR×NR tile: register-tiled microkernel, accumulating the
+//         full KC product into local registers before touching C
+//
+// Packing makes the microkernel's loads unit-stride regardless of the
+// transpose flags, so transposes are never materialized. C is *accumulated*
+// (C += op(A)·op(B)); callers wanting a plain product pass zeroed C.
+//
+// Determinism: the k-dimension is reduced in a fixed order (KC blocks outer,
+// packed k inner) and parallelism only splits independent output tiles of C
+// (row panels when C is tall, NR-wide column tiles when C is short-fat), so
+// results are bit-identical for any thread count.
+#pragma once
+
+namespace goldfish::runtime {
+
+class Scheduler;
+
+/// C(m×n) += op(A)·op(B) with op(X) = Xᵀ when the flag is set. All matrices
+/// row-major; `lda`/`ldb`/`ldc` are the stored row lengths (A is stored k×m
+/// when `transa`, likewise B is stored n×k when `transb`). C must not alias
+/// A or B. `sched == nullptr` uses the process-wide Scheduler.
+void sgemm(bool transa, bool transb, long m, long n, long k, const float* A,
+           long lda, const float* B, long ldb, float* C, long ldc,
+           Scheduler* sched = nullptr);
+
+}  // namespace goldfish::runtime

@@ -1,0 +1,139 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace goldfish::runtime {
+
+namespace {
+
+std::size_t default_parallelism() {
+  if (const char* env = std::getenv("GOLDFISH_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+Scheduler::Scheduler(std::size_t parallelism) {
+  if (parallelism == 0) parallelism = default_parallelism();
+  workers_.reserve(parallelism - 1);
+  for (std::size_t i = 0; i + 1 < parallelism; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+Scheduler& Scheduler::global() {
+  static Scheduler instance;
+  return instance;
+}
+
+void Scheduler::enqueue(std::function<void()> task) {
+  // A zero-worker scheduler has no consumer for the queue; run the task
+  // inline so submit() futures complete instead of blocking forever.
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) throw std::runtime_error("submit on stopped scheduler");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void Scheduler::run_chunks(const std::shared_ptr<Region>& region) {
+  Region& r = *region;
+  for (;;) {
+    const long c = r.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= r.nchunks) return;
+    if (!r.abort.load(std::memory_order_relaxed)) {
+      const long lo = c * r.chunk;
+      const long hi = std::min(r.n, lo + r.chunk);
+      try {
+        (*r.fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(r.mu);
+        if (!r.error) r.error = std::current_exception();
+        r.abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    // Even aborted chunks count as completed so the opener's wait ends.
+    if (r.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        r.nchunks) {
+      std::lock_guard<std::mutex> lock(r.mu);
+      r.done_cv.notify_all();
+    }
+  }
+}
+
+void Scheduler::parallel_for(long n,
+                             const std::function<void(long, long)>& fn,
+                             long grain) {
+  if (n <= 0) return;
+  grain = std::max(1L, grain);
+  if (workers_.empty() || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  auto region = std::make_shared<Region>();
+  region->fn = &fn;
+  region->n = n;
+  region->chunk = grain;
+  region->nchunks = (n + grain - 1) / grain;
+
+  // Helpers beyond the chunk count would only spin on an exhausted counter;
+  // don't enqueue them. The caller is one of the lanes.
+  const std::size_t helpers = std::min<std::size_t>(
+      workers_.size(), static_cast<std::size_t>(region->nchunks - 1));
+  for (std::size_t h = 0; h < helpers; ++h)
+    enqueue([region] { run_chunks(region); });
+
+  run_chunks(region);
+  {
+    std::unique_lock<std::mutex> lock(region->mu);
+    region->done_cv.wait(lock, [&] {
+      return region->completed.load(std::memory_order_acquire) ==
+             region->nchunks;
+    });
+  }
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+void Scheduler::parallel_map(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  parallel_for(
+      static_cast<long>(n),
+      [&fn](long lo, long hi) {
+        for (long i = lo; i < hi; ++i)
+          fn(static_cast<std::size_t>(i));
+      },
+      /*grain=*/1);
+}
+
+}  // namespace goldfish::runtime

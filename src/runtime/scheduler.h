@@ -1,0 +1,126 @@
+// Unified parallel runtime: one process-wide worker pool shared by every
+// layer of the library, from kernel-level `parallel_for` inside GEMM up to
+// the FL simulator's "foreach client in parallel" loops.
+//
+// The previous substrate was split in two — spawn-per-call std::threads for
+// tensor kernels and a blocking fixed pool (`fl::ThreadPool`) for client
+// tasks — which oversubscribed the machine whenever a client task hit a
+// parallel kernel. The Scheduler fixes this with *caller participation*:
+// a thread that opens a parallel region claims and executes chunks itself
+// while idle workers help. Nested regions therefore never deadlock and
+// never spawn threads; at worst they run inline on the calling worker.
+//
+// Determinism: chunk *assignment* to threads is dynamic, but chunk contents
+// and the per-chunk execution order are fixed independent of the thread
+// count, so any data-race-free body whose chunks touch disjoint state
+// produces identical results with 1 or N threads (the GEMM backbone relies
+// on this; see runtime/gemm.h).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace goldfish::runtime {
+
+class Scheduler {
+ public:
+  /// `parallelism == 0` → GOLDFISH_THREADS env var, else hardware
+  /// concurrency. A parallelism of p spawns p−1 workers; the thread that
+  /// opens a parallel region is always the p-th lane. `Scheduler(1)` spawns
+  /// no threads at all and runs everything inline (the serial baseline for
+  /// determinism tests).
+  explicit Scheduler(std::size_t parallelism = 0);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Degree of parallelism (worker threads + the participating caller).
+  std::size_t parallelism() const { return workers_.size() + 1; }
+
+  /// The process-wide scheduler every layer shares by default.
+  static Scheduler& global();
+
+  /// Run fn(begin, end) over [0, n) split into contiguous chunks of at
+  /// least `grain` indices. The caller executes chunks too, so calling this
+  /// from inside a worker task is safe and deadlock-free. Blocks until all
+  /// chunks finish; the first exception thrown by fn is rethrown here.
+  void parallel_for(long n, const std::function<void(long, long)>& fn,
+                    long grain = 1);
+
+  /// Apply fn(i) for i in [0, n); task-level parallelism for coarse work
+  /// (FL clients, shard retraining). Same nesting and exception rules as
+  /// parallel_for.
+  void parallel_map(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Enqueue a standalone task; returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+ private:
+  /// Shared bookkeeping of one parallel region.
+  struct Region {
+    const std::function<void(long, long)>* fn = nullptr;
+    long n = 0;
+    long chunk = 1;
+    long nchunks = 0;
+    std::atomic<long> next{0};
+    std::atomic<long> completed{0};
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+  };
+
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+  static void run_chunks(const std::shared_ptr<Region>& region);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Resolve a config's thread-count knob: 0 → the shared global Scheduler,
+/// non-zero → a private pool with that parallelism, kept alive in `owned`.
+/// Shared by every component exposing a `threads` field (FlConfig,
+/// UnlearnConfig) so their selection semantics cannot drift apart.
+inline Scheduler& scheduler_for(std::size_t threads,
+                                std::unique_ptr<Scheduler>& owned) {
+  if (threads != 0) {
+    owned = std::make_unique<Scheduler>(threads);
+    return *owned;
+  }
+  return Scheduler::global();
+}
+
+}  // namespace goldfish::runtime
+
+namespace goldfish {
+
+/// Kernel-level data parallelism on the shared global scheduler. The grain
+/// default suits elementwise/rowwise loops: regions smaller than one grain
+/// run inline with zero scheduling cost.
+inline void parallel_for(long n, const std::function<void(long, long)>& fn,
+                         long grain = 1024) {
+  runtime::Scheduler::global().parallel_for(n, fn, grain);
+}
+
+}  // namespace goldfish

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "tensor/parallel.h"
+#include "runtime/gemm.h"
+#include "runtime/scheduler.h"
 
 namespace goldfish {
 
@@ -13,79 +14,52 @@ void check_2d(const Tensor& t, const char* who) {
   GOLDFISH_CHECK(t.rank() == 2, std::string(who) + " expects a 2-D tensor");
 }
 
+/// Logical (rows, cols) of op(t) given its storage and transpose flag.
+std::pair<long, long> op_dims(const Tensor& t, bool trans) {
+  return trans ? std::make_pair(t.dim(1), t.dim(0))
+               : std::make_pair(t.dim(0), t.dim(1));
+}
+
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  check_2d(a, "matmul");
-  check_2d(b, "matmul");
-  const long m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  GOLDFISH_CHECK(b.dim(0) == k, "matmul inner dims: " + a.shape_str() +
-                                    " · " + b.shape_str());
-  Tensor c({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  // ikj loop order: the inner loop is a contiguous axpy over B and C rows,
-  // which the compiler vectorizes. Rows are independent → parallel over i.
-  const long flops_per_row = k * n;
-  parallel_for(
-      m,
-      [&](long lo, long hi) {
-        for (long i = lo; i < hi; ++i) {
-          for (long kk = 0; kk < k; ++kk) {
-            const float aik = A[i * k + kk];
-            if (aik == 0.0f) continue;
-            const float* Brow = B + kk * n;
-            float* Crow = C + i * n;
-            for (long j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
-          }
-        }
-      },
-      std::max(1L, (1L << 20) / std::max(1L, flops_per_row)));
+void gemm_acc(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+              bool trans_b) {
+  check_2d(a, "gemm");
+  check_2d(b, "gemm");
+  check_2d(c, "gemm");
+  const auto [m, k] = op_dims(a, trans_a);
+  const auto [kb, n] = op_dims(b, trans_b);
+  GOLDFISH_CHECK(kb == k, "gemm inner dims: " + a.shape_str() + " · " +
+                              b.shape_str());
+  GOLDFISH_CHECK(c.dim(0) == m && c.dim(1) == n,
+                 "gemm output shape: " + c.shape_str());
+  runtime::sgemm(trans_a, trans_b, m, n, k, a.data(), a.dim(1), b.data(),
+                 b.dim(1), c.data(), n);
+}
+
+Tensor gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  check_2d(a, "gemm");
+  check_2d(b, "gemm");
+  const auto [m, k] = op_dims(a, trans_a);
+  const auto [kb, n] = op_dims(b, trans_b);
+  GOLDFISH_CHECK(kb == k, "gemm inner dims: " + a.shape_str() + " · " +
+                              b.shape_str());
+  Tensor c({m, n});  // zero-initialized, so accumulate == plain product
+  runtime::sgemm(trans_a, trans_b, m, n, k, a.data(), a.dim(1), b.data(),
+                 b.dim(1), c.data(), n);
   return c;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  return gemm(a, b, false, false);
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  check_2d(a, "matmul_tn");
-  check_2d(b, "matmul_tn");
-  const long k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  GOLDFISH_CHECK(b.dim(0) == k, "matmul_tn inner dims");
-  Tensor c({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  for (long kk = 0; kk < k; ++kk) {
-    const float* Arow = A + kk * m;
-    const float* Brow = B + kk * n;
-    for (long i = 0; i < m; ++i) {
-      const float aki = Arow[i];
-      if (aki == 0.0f) continue;
-      float* Crow = C + i * n;
-      for (long j = 0; j < n; ++j) Crow[j] += aki * Brow[j];
-    }
-  }
-  return c;
+  return gemm(a, b, true, false);
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  check_2d(a, "matmul_nt");
-  check_2d(b, "matmul_nt");
-  const long m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  GOLDFISH_CHECK(b.dim(1) == k, "matmul_nt inner dims");
-  Tensor c({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  for (long i = 0; i < m; ++i) {
-    const float* Arow = A + i * k;
-    for (long j = 0; j < n; ++j) {
-      const float* Brow = B + j * k;
-      double acc = 0.0;
-      for (long kk = 0; kk < k; ++kk) acc += double(Arow[kk]) * Brow[kk];
-      C[i * n + j] = static_cast<float>(acc);
-    }
-  }
-  return c;
+  return gemm(a, b, false, true);
 }
 
 Tensor transpose(const Tensor& a) {
@@ -102,18 +76,23 @@ Tensor softmax_rows(const Tensor& logits, float temperature) {
   GOLDFISH_CHECK(temperature > 0.0f, "temperature must be positive");
   const long rows = logits.dim(0), cols = logits.dim(1);
   Tensor out({rows, cols});
-  for (long i = 0; i < rows; ++i) {
-    float mx = -1e30f;
-    for (long j = 0; j < cols; ++j) mx = std::max(mx, logits.at(i, j));
-    double denom = 0.0;
-    for (long j = 0; j < cols; ++j) {
-      const float e = std::exp((logits.at(i, j) - mx) / temperature);
-      out.at(i, j) = e;
-      denom += e;
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (long j = 0; j < cols; ++j) out.at(i, j) *= inv;
-  }
+  parallel_for(
+      rows,
+      [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          float mx = -1e30f;
+          for (long j = 0; j < cols; ++j) mx = std::max(mx, logits.at(i, j));
+          double denom = 0.0;
+          for (long j = 0; j < cols; ++j) {
+            const float e = std::exp((logits.at(i, j) - mx) / temperature);
+            out.at(i, j) = e;
+            denom += e;
+          }
+          const float inv = static_cast<float>(1.0 / denom);
+          for (long j = 0; j < cols; ++j) out.at(i, j) *= inv;
+        }
+      },
+      std::max(1L, 4096 / std::max(1L, cols)));
   return out;
 }
 
@@ -122,16 +101,21 @@ Tensor log_softmax_rows(const Tensor& logits, float temperature) {
   GOLDFISH_CHECK(temperature > 0.0f, "temperature must be positive");
   const long rows = logits.dim(0), cols = logits.dim(1);
   Tensor out({rows, cols});
-  for (long i = 0; i < rows; ++i) {
-    float mx = -1e30f;
-    for (long j = 0; j < cols; ++j) mx = std::max(mx, logits.at(i, j));
-    double denom = 0.0;
-    for (long j = 0; j < cols; ++j)
-      denom += std::exp((logits.at(i, j) - mx) / temperature);
-    const float log_denom = static_cast<float>(std::log(denom));
-    for (long j = 0; j < cols; ++j)
-      out.at(i, j) = (logits.at(i, j) - mx) / temperature - log_denom;
-  }
+  parallel_for(
+      rows,
+      [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          float mx = -1e30f;
+          for (long j = 0; j < cols; ++j) mx = std::max(mx, logits.at(i, j));
+          double denom = 0.0;
+          for (long j = 0; j < cols; ++j)
+            denom += std::exp((logits.at(i, j) - mx) / temperature);
+          const float log_denom = static_cast<float>(std::log(denom));
+          for (long j = 0; j < cols; ++j)
+            out.at(i, j) = (logits.at(i, j) - mx) / temperature - log_denom;
+        }
+      },
+      std::max(1L, 4096 / std::max(1L, cols)));
   return out;
 }
 
@@ -195,7 +179,9 @@ Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
   Tensor cols({patch, N * oh * ow});
   float* dst = cols.data();
   const long col_stride = N * oh * ow;
-  for (long n = 0; n < N; ++n) {
+  // Samples write disjoint column ranges → parallel over the batch.
+  parallel_for(N, [&](long n_lo, long n_hi) {
+  for (long n = n_lo; n < n_hi; ++n) {
     for (long c = 0; c < g.in_channels; ++c) {
       for (long kh = 0; kh < g.kernel; ++kh) {
         for (long kw = 0; kw < g.kernel; ++kw) {
@@ -215,6 +201,7 @@ Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
       }
     }
   }
+  }, /*grain=*/1);
   return cols;
 }
 
@@ -227,7 +214,9 @@ Tensor col2im(const Tensor& cols, long batch, const Conv2dGeom& g) {
   Tensor img({batch, g.in_channels, g.in_h, g.in_w});
   const float* src = cols.data();
   const long col_stride = batch * oh * ow;
-  for (long n = 0; n < batch; ++n) {
+  // Samples scatter into disjoint image slices → parallel over the batch.
+  parallel_for(batch, [&](long n_lo, long n_hi) {
+  for (long n = n_lo; n < n_hi; ++n) {
     for (long c = 0; c < g.in_channels; ++c) {
       for (long kh = 0; kh < g.kernel; ++kh) {
         for (long kw = 0; kw < g.kernel; ++kw) {
@@ -246,6 +235,7 @@ Tensor col2im(const Tensor& cols, long batch, const Conv2dGeom& g) {
       }
     }
   }
+  }, /*grain=*/1);
   return img;
 }
 

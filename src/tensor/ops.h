@@ -11,14 +11,30 @@ namespace goldfish {
 
 // -- linear algebra --------------------------------------------------------
 
-/// C = A(m×k) · B(k×n). Plain blocked triple loop — fast enough at repro
-/// scale and trivially correct.
+/// C = op(A)·op(B) with op(X) = Xᵀ when the flag is set. The single matrix
+/// product of the library: a cache-blocked GEMM (runtime::sgemm) that packs
+/// op(A)/op(B) into contiguous micro-panels and drives a register-tiled
+/// microkernel, parallelized over independent output tiles of C on the
+/// shared runtime Scheduler. Transposes are never materialized; results are
+/// bit-identical for any thread count.
+Tensor gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b);
+
+/// C += op(A)·op(B) accumulated in place (the gradient hot path: avoids a
+/// temporary and an extra pass). Shape of `c` must already match.
+void gemm_acc(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+              bool trans_b);
+
+/// C = A(m×k) · B(k×n). Thin wrapper over gemm(a, b, false, false).
 Tensor matmul(const Tensor& a, const Tensor& b);
 
-/// C = Aᵀ(k×m)ᵀ · B(k×n) = (m×n); avoids materializing the transpose.
+/// C = Aᵀ(k×m)ᵀ · B(k×n) = (m×n). Thin wrapper over gemm(a, b, true, false).
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
 
-/// C = A(m×k) · Bᵀ(n×k)ᵀ = (m×n); avoids materializing the transpose.
+/// C = A(m×k) · Bᵀ(n×k)ᵀ = (m×n). Thin wrapper over gemm(a, b, false, true).
+/// Note: the pre-runtime kernel accumulated each dot product in double;
+/// like the other two wrappers this now accumulates in float registers
+/// (standard GEMM practice — blocked summation keeps error well inside the
+/// test tolerances, but bitwise results differ from the seed).
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
 /// Transposed copy of a 2-D tensor.

@@ -305,9 +305,10 @@ TEST(Sharding, ParallelDeletionMatchesSerial) {
   parallel.train_all(opts);
   std::vector<std::size_t> doomed;
   for (std::size_t i = 0; i < 30; ++i) doomed.push_back(i);
-  fl::ThreadPool pool(4);
-  serial.delete_rows(doomed, opts, nullptr);
-  parallel.delete_rows(doomed, opts, &pool);
+  runtime::Scheduler serial_sched(1);
+  runtime::Scheduler parallel_sched(4);
+  serial.delete_rows(doomed, opts, &serial_sched);
+  parallel.delete_rows(doomed, opts, &parallel_sched);
   EXPECT_NEAR(
       nn::snapshot_distance_sq(serial.aggregate(), parallel.aggregate()),
       0.0f, 1e-8f);

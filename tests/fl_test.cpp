@@ -1,5 +1,6 @@
-// Federated substrate: thread pool, local trainer, aggregation strategies,
-// and the synchronous simulation loop.
+// Federated substrate: local trainer, aggregation strategies, and the
+// synchronous simulation loop. (The parallel runtime the simulator runs on
+// is covered by runtime_test.cpp.)
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -13,44 +14,6 @@
 
 namespace goldfish {
 namespace {
-
-TEST(ThreadPool, RunsAllTasks) {
-  fl::ThreadPool pool(4);
-  std::atomic<int> count{0};
-  pool.parallel_map(100, [&](std::size_t) { count.fetch_add(1); });
-  EXPECT_EQ(count.load(), 100);
-}
-
-TEST(ThreadPool, SubmitReturnsValue) {
-  fl::ThreadPool pool(2);
-  auto fut = pool.submit([] { return 6 * 7; });
-  EXPECT_EQ(fut.get(), 42);
-}
-
-TEST(ThreadPool, ExceptionsPropagate) {
-  fl::ThreadPool pool(2);
-  EXPECT_THROW(
-      pool.parallel_map(4,
-                        [](std::size_t i) {
-                          if (i == 2) throw std::runtime_error("boom");
-                        }),
-      std::runtime_error);
-}
-
-TEST(ThreadPool, ActuallyParallel) {
-  fl::ThreadPool pool(4);
-  std::atomic<int> concurrent{0};
-  std::atomic<int> peak{0};
-  pool.parallel_map(8, [&](std::size_t) {
-    const int now = concurrent.fetch_add(1) + 1;
-    int expect = peak.load();
-    while (now > expect && !peak.compare_exchange_weak(expect, now)) {
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    concurrent.fetch_sub(1);
-  });
-  EXPECT_GT(peak.load(), 1);
-}
 
 TEST(Trainer, LossDecreases) {
   auto tt = data::make_synthetic(

@@ -57,8 +57,10 @@ TEST(Matmul, NtMatchesExplicitTranspose) {
 }
 
 TEST(Matmul, LargeParallelPathMatchesSmall) {
-  // Exercise the parallel_for path (rows above the threshold) against the
-  // same computation done row by row.
+  // Whole-matrix product vs the same rows computed one at a time (which
+  // take the minimal-tile path). Multi-panel and parallel GEMM coverage
+  // lives in gemm_test.cpp (LargeShapeCrossesAllPanelBoundaries,
+  // DeterministicAcrossThreadCounts).
   Rng rng(4);
   Tensor a = Tensor::randn({64, 33}, rng);
   Tensor b = Tensor::randn({33, 47}, rng);

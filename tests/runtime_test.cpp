@@ -1,0 +1,146 @@
+// The unified parallel runtime: caller-participating Scheduler shared by
+// kernel-level parallel_for and task-level parallel_map, including the
+// nested-parallelism guarantees the FL simulator relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "runtime/scheduler.h"
+
+namespace goldfish {
+namespace {
+
+TEST(Scheduler, RunsAllTasks) {
+  runtime::Scheduler sched(4);
+  std::atomic<int> count{0};
+  sched.parallel_map(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Scheduler, SubmitReturnsValue) {
+  runtime::Scheduler sched(2);
+  auto fut = sched.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(Scheduler, SubmitOnSerialSchedulerRunsInline) {
+  // A zero-worker scheduler has no queue consumer; submit must still
+  // complete the future (inline) rather than deadlock.
+  runtime::Scheduler sched(1);
+  auto fut = sched.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(Scheduler, ExceptionsPropagate) {
+  runtime::Scheduler sched(2);
+  EXPECT_THROW(
+      sched.parallel_map(4,
+                         [](std::size_t i) {
+                           if (i == 2) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(Scheduler, ActuallyParallel) {
+  runtime::Scheduler sched(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  sched.parallel_map(8, [&](std::size_t) {
+    const int now = concurrent.fetch_add(1) + 1;
+    int expect = peak.load();
+    while (now > expect && !peak.compare_exchange_weak(expect, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    concurrent.fetch_sub(1);
+  });
+  EXPECT_GT(peak.load(), 1);
+}
+
+TEST(Scheduler, SerialSchedulerSpawnsNoThreads) {
+  runtime::Scheduler sched(1);
+  EXPECT_EQ(sched.parallelism(), 1u);
+  const auto caller = std::this_thread::get_id();
+  sched.parallel_for(100, [&](long, long) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(Scheduler, ParallelForCoversEveryIndexOnce) {
+  runtime::Scheduler sched(4);
+  std::vector<std::atomic<int>> hits(1000);
+  sched.parallel_for(
+      1000,
+      [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i)
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+      },
+      /*grain=*/7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Scheduler, ChunksRespectGrain) {
+  runtime::Scheduler sched(4);
+  std::atomic<long> calls{0};
+  sched.parallel_for(
+      100,
+      [&](long lo, long hi) {
+        EXPECT_GE(hi - lo, 1L);
+        EXPECT_LE(hi - lo, 30L);
+        calls.fetch_add(1);
+      },
+      /*grain=*/30);
+  EXPECT_EQ(calls.load(), 4);  // ceil(100/30)
+}
+
+// The property the single-pool design exists for: a parallel_for opened
+// from inside a parallel_map task (kernel inside an FL client) completes
+// without deadlock and without spawning extra threads, even when every
+// worker is busy with client tasks.
+TEST(Scheduler, NestedParallelismDoesNotDeadlock) {
+  runtime::Scheduler sched(3);
+  std::atomic<long> total{0};
+  sched.parallel_map(8, [&](std::size_t) {
+    sched.parallel_for(
+        64, [&](long lo, long hi) { total.fetch_add(hi - lo); },
+        /*grain=*/4);
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(Scheduler, DeeplyNestedRegionsComplete) {
+  runtime::Scheduler sched(2);
+  std::atomic<long> leaves{0};
+  sched.parallel_map(4, [&](std::size_t) {
+    sched.parallel_map(4, [&](std::size_t) {
+      sched.parallel_for(4, [&](long lo, long hi) {
+        leaves.fetch_add(hi - lo);
+      });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 4 * 4 * 4);
+}
+
+TEST(Scheduler, GlobalIsSingleInstance) {
+  runtime::Scheduler& a = runtime::Scheduler::global();
+  runtime::Scheduler& b = runtime::Scheduler::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.parallelism(), 1u);
+}
+
+TEST(Scheduler, FreeParallelForRunsInlineBelowGrain) {
+  const auto caller = std::this_thread::get_id();
+  long covered = 0;
+  // n < default grain → must run inline on the caller, zero scheduling.
+  parallel_for(100, [&](long lo, long hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered, 100);
+}
+
+}  // namespace
+}  // namespace goldfish
