@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audited_unlearning.dir/examples/audited_unlearning.cpp.o"
+  "CMakeFiles/audited_unlearning.dir/examples/audited_unlearning.cpp.o.d"
+  "audited_unlearning"
+  "audited_unlearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audited_unlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

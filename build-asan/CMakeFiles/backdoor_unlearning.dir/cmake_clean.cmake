@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backdoor_unlearning.dir/examples/backdoor_unlearning.cpp.o"
+  "CMakeFiles/backdoor_unlearning.dir/examples/backdoor_unlearning.cpp.o.d"
+  "backdoor_unlearning"
+  "backdoor_unlearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backdoor_unlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/incompetent_teacher.cpp" "CMakeFiles/goldfish.dir/src/baselines/incompetent_teacher.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/baselines/incompetent_teacher.cpp.o.d"
+  "/root/repo/src/baselines/rapid_retrain.cpp" "CMakeFiles/goldfish.dir/src/baselines/rapid_retrain.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/baselines/rapid_retrain.cpp.o.d"
+  "/root/repo/src/baselines/retrain_scratch.cpp" "CMakeFiles/goldfish.dir/src/baselines/retrain_scratch.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/baselines/retrain_scratch.cpp.o.d"
+  "/root/repo/src/core/adaptive_temperature.cpp" "CMakeFiles/goldfish.dir/src/core/adaptive_temperature.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/core/adaptive_temperature.cpp.o.d"
+  "/root/repo/src/core/distill_trainer.cpp" "CMakeFiles/goldfish.dir/src/core/distill_trainer.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/core/distill_trainer.cpp.o.d"
+  "/root/repo/src/core/early_termination.cpp" "CMakeFiles/goldfish.dir/src/core/early_termination.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/core/early_termination.cpp.o.d"
+  "/root/repo/src/core/sharded_client.cpp" "CMakeFiles/goldfish.dir/src/core/sharded_client.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/core/sharded_client.cpp.o.d"
+  "/root/repo/src/core/sharding.cpp" "CMakeFiles/goldfish.dir/src/core/sharding.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/core/sharding.cpp.o.d"
+  "/root/repo/src/core/unlearner.cpp" "CMakeFiles/goldfish.dir/src/core/unlearner.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/core/unlearner.cpp.o.d"
+  "/root/repo/src/data/backdoor.cpp" "CMakeFiles/goldfish.dir/src/data/backdoor.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/data/backdoor.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/goldfish.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "CMakeFiles/goldfish.dir/src/data/partition.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/data/partition.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "CMakeFiles/goldfish.dir/src/data/synthetic.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/data/synthetic.cpp.o.d"
+  "/root/repo/src/fl/aggregation.cpp" "CMakeFiles/goldfish.dir/src/fl/aggregation.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/fl/aggregation.cpp.o.d"
+  "/root/repo/src/fl/simulation.cpp" "CMakeFiles/goldfish.dir/src/fl/simulation.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/fl/simulation.cpp.o.d"
+  "/root/repo/src/fl/trainer.cpp" "CMakeFiles/goldfish.dir/src/fl/trainer.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/fl/trainer.cpp.o.d"
+  "/root/repo/src/losses/distillation.cpp" "CMakeFiles/goldfish.dir/src/losses/distillation.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/losses/distillation.cpp.o.d"
+  "/root/repo/src/losses/goldfish_loss.cpp" "CMakeFiles/goldfish.dir/src/losses/goldfish_loss.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/losses/goldfish_loss.cpp.o.d"
+  "/root/repo/src/losses/hard_loss.cpp" "CMakeFiles/goldfish.dir/src/losses/hard_loss.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/losses/hard_loss.cpp.o.d"
+  "/root/repo/src/metrics/divergence.cpp" "CMakeFiles/goldfish.dir/src/metrics/divergence.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/metrics/divergence.cpp.o.d"
+  "/root/repo/src/metrics/evaluation.cpp" "CMakeFiles/goldfish.dir/src/metrics/evaluation.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/metrics/evaluation.cpp.o.d"
+  "/root/repo/src/metrics/membership_inference.cpp" "CMakeFiles/goldfish.dir/src/metrics/membership_inference.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/metrics/membership_inference.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "CMakeFiles/goldfish.dir/src/metrics/report.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/metrics/report.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "CMakeFiles/goldfish.dir/src/nn/activations.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "CMakeFiles/goldfish.dir/src/nn/batchnorm.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "CMakeFiles/goldfish.dir/src/nn/conv.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "CMakeFiles/goldfish.dir/src/nn/linear.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "CMakeFiles/goldfish.dir/src/nn/model.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/nn/model.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "CMakeFiles/goldfish.dir/src/nn/models.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/nn/models.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "CMakeFiles/goldfish.dir/src/nn/pooling.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "CMakeFiles/goldfish.dir/src/nn/sequential.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "CMakeFiles/goldfish.dir/src/nn/sgd.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/nn/sgd.cpp.o.d"
+  "/root/repo/src/runtime/gemm.cpp" "CMakeFiles/goldfish.dir/src/runtime/gemm.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/runtime/gemm.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "CMakeFiles/goldfish.dir/src/runtime/scheduler.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/goldfish.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/rng.cpp" "CMakeFiles/goldfish.dir/src/tensor/rng.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/tensor/rng.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "CMakeFiles/goldfish.dir/src/tensor/serialize.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/tensor/serialize.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/goldfish.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/goldfish.dir/src/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

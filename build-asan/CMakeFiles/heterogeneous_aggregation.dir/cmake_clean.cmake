@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_aggregation.dir/examples/heterogeneous_aggregation.cpp.o"
+  "CMakeFiles/heterogeneous_aggregation.dir/examples/heterogeneous_aggregation.cpp.o.d"
+  "heterogeneous_aggregation"
+  "heterogeneous_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_deletion.dir/examples/sharded_deletion.cpp.o"
+  "CMakeFiles/sharded_deletion.dir/examples/sharded_deletion.cpp.o.d"
+  "sharded_deletion"
+  "sharded_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/fl_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/fl_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/fl_test.cpp.o.d"
+  "/root/repo/tests/gemm_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/gemm_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/gemm_test.cpp.o.d"
+  "/root/repo/tests/losses_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/losses_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/losses_test.cpp.o.d"
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/nn_gradcheck_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/nn_gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/nn_gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn_layers_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/nn_layers_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/nn_layers_test.cpp.o.d"
+  "/root/repo/tests/nn_model_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/nn_model_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/nn_model_test.cpp.o.d"
+  "/root/repo/tests/ops_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/ops_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/ops_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/unlearn_integration_test.cpp" "tests/CMakeFiles/goldfish_tests.dir/unlearn_integration_test.cpp.o" "gcc" "tests/CMakeFiles/goldfish_tests.dir/unlearn_integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/goldfish.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_backdoor_asr.dir/bench_fig5_backdoor_asr.cpp.o"
+  "CMakeFiles/bench_fig5_backdoor_asr.dir/bench_fig5_backdoor_asr.cpp.o.d"
+  "bench_fig5_backdoor_asr"
+  "bench_fig5_backdoor_asr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_backdoor_asr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_backdoor_asr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_shard_deletion.dir/bench_fig7_shard_deletion.cpp.o"
+  "CMakeFiles/bench_fig7_shard_deletion.dir/bench_fig7_shard_deletion.cpp.o.d"
+  "bench_fig7_shard_deletion"
+  "bench_fig7_shard_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_shard_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

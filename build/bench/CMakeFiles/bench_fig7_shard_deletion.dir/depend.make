@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_shard_deletion.
+# This may be replaced when dependencies are built.

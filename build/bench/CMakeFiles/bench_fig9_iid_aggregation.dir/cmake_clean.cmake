@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_iid_aggregation.dir/bench_fig9_iid_aggregation.cpp.o"
+  "CMakeFiles/bench_fig9_iid_aggregation.dir/bench_fig9_iid_aggregation.cpp.o.d"
+  "bench_fig9_iid_aggregation"
+  "bench_fig9_iid_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_iid_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

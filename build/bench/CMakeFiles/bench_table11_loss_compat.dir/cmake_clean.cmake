@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_loss_compat.dir/bench_table11_loss_compat.cpp.o"
+  "CMakeFiles/bench_table11_loss_compat.dir/bench_table11_loss_compat.cpp.o.d"
+  "bench_table11_loss_compat"
+  "bench_table11_loss_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_loss_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

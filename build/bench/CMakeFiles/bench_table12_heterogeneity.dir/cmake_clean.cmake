@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_heterogeneity.dir/bench_table12_heterogeneity.cpp.o"
+  "CMakeFiles/bench_table12_heterogeneity.dir/bench_table12_heterogeneity.cpp.o.d"
+  "bench_table12_heterogeneity"
+  "bench_table12_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

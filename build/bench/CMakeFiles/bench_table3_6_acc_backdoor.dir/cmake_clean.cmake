@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_6_acc_backdoor.dir/bench_table3_6_acc_backdoor.cpp.o"
+  "CMakeFiles/bench_table3_6_acc_backdoor.dir/bench_table3_6_acc_backdoor.cpp.o.d"
+  "bench_table3_6_acc_backdoor"
+  "bench_table3_6_acc_backdoor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_6_acc_backdoor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_9_divergence.dir/bench_table7_9_divergence.cpp.o"
+  "CMakeFiles/bench_table7_9_divergence.dir/bench_table7_9_divergence.cpp.o.d"
+  "bench_table7_9_divergence"
+  "bench_table7_9_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_9_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
