@@ -145,6 +145,65 @@ void BM_LinearForward(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearForward);
 
+// -- fused-epilogue linear forward at n³ --------------------------------
+// Three implementations of the same relu(x·Wᵀ + b): the seed's (naive ikj
+// matmul, then separate bias and ReLU passes), the PR-1 blocked GEMM with
+// the same two extra passes, and the fused writeback (bias + ReLU inside
+// the microkernel, beta=0 into an uninitialized output). The CI ratchet
+// (bench/check_bench_ratchet.py) requires Fused ≥ 1.2× SeedTwoPass at 256.
+
+void apply_bias_relu_two_pass(Tensor& y, const Tensor& bias) {
+  const long rows = y.dim(0), cols = y.dim(1);
+  for (long i = 0; i < rows; ++i)
+    for (long j = 0; j < cols; ++j) y.at(i, j) += bias[std::size_t(j)];
+  for (float& v : y.vec()) v = v > 0.0f ? v : 0.0f;
+}
+
+void BM_LinearSeedTwoPass(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(11);
+  Tensor x = Tensor::randn({n, n}, rng);
+  Tensor wt = Tensor::randn({n, n}, rng);  // pre-transposed for the naive path
+  Tensor bias = Tensor::randn({n}, rng);
+  for (auto _ : state) {
+    Tensor y = seed_naive_matmul(x, wt);
+    apply_bias_relu_two_pass(y, bias);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_LinearSeedTwoPass)->Arg(256);
+
+void BM_LinearTwoPass(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(11);
+  Tensor x = Tensor::randn({n, n}, rng);
+  Tensor w = Tensor::randn({n, n}, rng);
+  Tensor bias = Tensor::randn({n}, rng);
+  for (auto _ : state) {
+    Tensor y = gemm(x, w, false, true);
+    apply_bias_relu_two_pass(y, bias);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_LinearTwoPass)->Arg(256);
+
+void BM_LinearFusedEpilogue(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(11);
+  Tensor x = Tensor::randn({n, n}, rng);
+  Tensor w = Tensor::randn({n, n}, rng);
+  Tensor bias = Tensor::randn({n}, rng);
+  for (auto _ : state) {
+    Tensor y = gemm_fused(x, w, false, true,
+                          runtime::Epilogue::kBiasColRelu, bias);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_LinearFusedEpilogue)->Arg(256);
+
 void BM_SoftmaxRows(benchmark::State& state) {
   Rng rng(7);
   Tensor z = Tensor::randn({256, 100}, rng);

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bench ratchet: fail CI when a tracked kernel regresses.
+
+Usage: check_bench_ratchet.py RESULTS_JSON BASELINE_JSON
+
+RESULTS_JSON is the --benchmark_format=json output of bench_micro_kernels.
+BASELINE_JSON (bench/baseline_ci.json, checked in) holds:
+  * "gflops": per-benchmark GFLOP/s floors. A run fails when a tracked
+    benchmark drops more than "tolerance" (fraction, default 0.20) below its
+    floor. Floors are set for the slowest hardware class CI runs on; they
+    catch structural regressions (lost vectorization, a serialized loop, an
+    accidental O(n^4)), not single-digit-percent noise.
+  * "ratios": machine-independent gates, each {"fast": name, "slow": name,
+    "min_ratio": r} requiring items_per_second(fast) >= r * (slow). This is
+    how the fused-epilogue win is locked in regardless of runner speed.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        results = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    # items_per_second is flops/sec for these benches (SetItemsProcessed of
+    # 2*m*n*k); index every reported benchmark by name.
+    measured = {}
+    for bench in results.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        ips = bench.get("items_per_second")
+        if ips is not None:
+            measured[bench["name"]] = ips
+
+    tolerance = float(baseline.get("tolerance", 0.20))
+    failures = []
+
+    print(f"{'benchmark':40} {'measured':>12} {'floor':>10} {'status':>8}")
+    for name, floor_gflops in sorted(baseline.get("gflops", {}).items()):
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from results")
+            print(f"{name:40} {'—':>12} {floor_gflops:>10.2f}  MISSING")
+            continue
+        got_gflops = got / 1e9
+        limit = (1.0 - tolerance) * floor_gflops
+        ok = got_gflops >= limit
+        print(f"{name:40} {got_gflops:>10.2f}G {floor_gflops:>9.2f}G"
+              f" {'ok' if ok else 'FAIL':>8}")
+        if not ok:
+            failures.append(
+                f"{name}: {got_gflops:.2f} GFLOP/s is more than "
+                f"{tolerance:.0%} below the {floor_gflops:.2f} floor")
+
+    for gate in baseline.get("ratios", []):
+        fast, slow = measured.get(gate["fast"]), measured.get(gate["slow"])
+        want = float(gate["min_ratio"])
+        if fast is None or slow is None:
+            failures.append(
+                f"ratio {gate['fast']} / {gate['slow']}: missing benchmark")
+            continue
+        ratio = fast / slow
+        ok = ratio >= want
+        print(f"{gate['fast']} / {gate['slow']}: {ratio:.2f}x"
+              f" (need >= {want:.2f}x) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{gate['fast']} is only {ratio:.2f}x {gate['slow']}"
+                f" (need >= {want:.2f}x)")
+
+    if failures:
+        print("\nBench ratchet FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nBench ratchet passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

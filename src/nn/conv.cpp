@@ -53,13 +53,10 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   GOLDFISH_CHECK(x.rank() == 4, "conv expects (N,C,H,W)");
   cached_batch_ = x.dim(0);
   cached_cols_ = im2col(x, geom_);
-  Tensor flat = gemm(weight_, cached_cols_, false, false);  // (outC, N·oh·ow)
-  const long cols = flat.dim(1);
-  for (long c = 0; c < out_channels_; ++c) {
-    float* row = flat.data() + c * cols;
-    const float b = bias_[std::size_t(c)];
-    for (long j = 0; j < cols; ++j) row[j] += b;
-  }
+  // Per-channel bias = one value per row of the (outC, N·oh·ow) product,
+  // fused into the GEMM writeback instead of a second pass over the output.
+  Tensor flat = gemm_fused(weight_, cached_cols_, false, false,
+                           runtime::Epilogue::kBiasRow, bias_);
   return pack_output(flat, cached_batch_);
 }
 

@@ -19,12 +19,22 @@ class Linear final : public Layer {
   long in_features() const { return in_; }
   long out_features() const { return out_; }
 
+  /// Fold the ReLU that follows this layer into the GEMM writeback
+  /// (Sequential sets this when it peepholes a Linear→ReLU pair). A fused
+  /// forward returns the post-activation tensor and backward applies the
+  /// ReLU mask itself, so the standalone ReLU layer must be skipped in both
+  /// directions. Results are bit-identical to the unfused pair.
+  void set_fuse_relu(bool fuse) { fuse_relu_ = fuse; }
+  bool fuse_relu() const { return fuse_relu_; }
+
  private:
   long in_ = 0, out_ = 0;
   Tensor weight_;  // (out, in)
   Tensor bias_;    // (out)
   Tensor grad_weight_, grad_bias_;
-  Tensor cached_input_;  // (N, in) from the last forward
+  Tensor cached_input_;   // (N, in) from the last forward
+  Tensor cached_output_;  // (N, out) post-ReLU, only kept when fused
+  bool fuse_relu_ = false;
 };
 
 }  // namespace goldfish::nn

@@ -5,6 +5,7 @@
 #include "nn/activations.h"
 #include "nn/batchnorm.h"
 #include "nn/conv.h"
+#include "nn/linear.h"
 
 namespace goldfish::nn {
 
@@ -26,16 +27,40 @@ void Sequential::add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
 }
 
+// Peephole: a Linear directly followed by a ReLU runs as one fused GEMM
+// (bias + ReLU in the writeback); the standalone ReLU layer is skipped in
+// both passes and the Linear applies the mask in its own backward. Results
+// are bit-identical to running the pair unfused.
+bool Sequential::fused_pair_at(std::size_t i) const {
+  return i + 1 < layers_.size() &&
+         dynamic_cast<const Linear*>(layers_[i].get()) != nullptr &&
+         dynamic_cast<const ReLU*>(layers_[i + 1].get()) != nullptr;
+}
+
 Tensor Sequential::forward(const Tensor& x, bool train) {
   Tensor h = x;
-  for (auto& l : layers_) h = l->forward(h, train);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (auto* lin = dynamic_cast<Linear*>(layers_[i].get())) {
+      const bool fuse = fused_pair_at(i);
+      lin->set_fuse_relu(fuse);
+      h = lin->forward(h, train);
+      if (fuse) ++i;  // the ReLU ran inside the GEMM writeback
+    } else {
+      h = layers_[i]->forward(h, train);
+    }
+  }
   return h;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    g = (*it)->backward(g);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    if (i > 0 && fused_pair_at(i - 1) &&
+        static_cast<const Linear*>(layers_[i - 1].get())->fuse_relu()) {
+      --i;  // skip the folded ReLU; the Linear applies its mask
+    }
+    g = layers_[i]->backward(g);
+  }
   return g;
 }
 

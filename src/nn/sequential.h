@@ -9,6 +9,9 @@
 namespace goldfish::nn {
 
 /// Ordered chain of layers; forward runs left→right, backward right→left.
+/// Linear→ReLU pairs are peepholed into one fused GEMM (bias + ReLU applied
+/// in the writeback) with the standalone ReLU skipped in both passes;
+/// results are bit-identical to the unfused chain.
 class Sequential final : public Layer {
  public:
   Sequential() = default;
@@ -28,6 +31,10 @@ class Sequential final : public Layer {
   std::string name() const override;
 
  private:
+  /// True when layers_[i] is a Linear immediately followed by a ReLU — the
+  /// pair the forward/backward peephole fuses.
+  bool fused_pair_at(std::size_t i) const;
+
   std::vector<std::unique_ptr<Layer>> layers_;
 };
 

@@ -11,8 +11,9 @@
 //         full KC product into local registers before touching C
 //
 // Packing makes the microkernel's loads unit-stride regardless of the
-// transpose flags, so transposes are never materialized. C is *accumulated*
-// (C += op(A)·op(B)); callers wanting a plain product pass zeroed C.
+// transpose flags, so transposes are never materialized. Packing buffers are
+// thread_local and grow monotonically, so steady-state calls never touch the
+// heap.
 //
 // Determinism: the k-dimension is reduced in a fixed order (KC blocks outer,
 // packed k inner) and parallelism only splits independent output tiles of C
@@ -24,10 +25,42 @@ namespace goldfish::runtime {
 
 class Scheduler;
 
-/// C(m×n) += op(A)·op(B) with op(X) = Xᵀ when the flag is set. All matrices
-/// row-major; `lda`/`ldb`/`ldc` are the stored row lengths (A is stored k×m
-/// when `transa`, likewise B is stored n×k when `transb`). C must not alias
-/// A or B. `sched == nullptr` uses the process-wide Scheduler.
+/// Fused transform applied to each element of C in the microkernel's final
+/// writeback (the last KC slice of the k reduction), replacing what would
+/// otherwise be one or two extra passes over C:
+///
+///   kNone         C[i,j] = beta·C[i,j] + P[i,j]
+///   kBiasCol      C[i,j] = beta·C[i,j] + P[i,j] + bias[j]   (linear layers)
+///   kBiasColRelu  C[i,j] = relu(beta·C[i,j] + P[i,j] + bias[j])
+///   kBiasRow      C[i,j] = beta·C[i,j] + P[i,j] + bias[i]   (conv channels)
+///   kBiasRowRelu  C[i,j] = relu(beta·C[i,j] + P[i,j] + bias[i])
+///
+/// where P = op(A)·op(B). Bias is broadcast per column (length n) or per row
+/// (length m); relu(x) is `x > 0 ? x : 0` (exactly the two-pass ReLU,
+/// including -0.0 → +0.0), so a fused product is bit-identical to the
+/// unfused product followed by separate bias-add and ReLU passes.
+enum class Epilogue { kNone, kBiasCol, kBiasColRelu, kBiasRow, kBiasRowRelu };
+
+/// C(m×n) = beta·C + op(A)·op(B), epilogue-fused, with op(X) = Xᵀ when the
+/// flag is set. All matrices row-major; `lda`/`ldb`/`ldc` are the stored row
+/// lengths (A is stored k×m when `transa`, likewise B is stored n×k when
+/// `transb`). C must not alias A, B, or `bias`.
+///
+/// `beta` selects the writeback mode of the *first* KC slice and must be
+/// exactly 0 or 1: 0 overwrites C (its prior contents are never read — pair
+/// with Tensor::uninit to skip the zero-fill entirely), 1 accumulates into C
+/// (the gradient hot path). Later slices always accumulate the partial
+/// product; the epilogue is applied once, on the final slice.
+///
+/// `bias` must be non-null (length n for the column variants, m for the row
+/// variants) whenever `epilogue != kNone`, and is ignored otherwise.
+/// `sched == nullptr` uses the process-wide Scheduler.
+void sgemm(bool transa, bool transb, long m, long n, long k, const float* A,
+           long lda, const float* B, long ldb, float* C, long ldc, float beta,
+           Epilogue epilogue, const float* bias, Scheduler* sched = nullptr);
+
+/// C += op(A)·op(B): the historical accumulate-only entry point
+/// (beta = 1, no epilogue).
 void sgemm(bool transa, bool transb, long m, long n, long k, const float* A,
            long lda, const float* B, long ldb, float* C, long ldc,
            Scheduler* sched = nullptr);

@@ -44,9 +44,32 @@ Tensor gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const auto [kb, n] = op_dims(b, trans_b);
   GOLDFISH_CHECK(kb == k, "gemm inner dims: " + a.shape_str() + " · " +
                               b.shape_str());
-  Tensor c({m, n});  // zero-initialized, so accumulate == plain product
+  Tensor c = Tensor::uninit({m, n});  // beta=0 overwrites every element
   runtime::sgemm(trans_a, trans_b, m, n, k, a.data(), a.dim(1), b.data(),
-                 b.dim(1), c.data(), n);
+                 b.dim(1), c.data(), n, /*beta=*/0.0f, runtime::Epilogue::kNone,
+                 nullptr);
+  return c;
+}
+
+Tensor gemm_fused(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                  runtime::Epilogue epilogue, const Tensor& bias) {
+  check_2d(a, "gemm_fused");
+  check_2d(b, "gemm_fused");
+  GOLDFISH_CHECK(epilogue != runtime::Epilogue::kNone,
+                 "gemm_fused needs an epilogue; use gemm() for the plain "
+                 "product");
+  const auto [m, k] = op_dims(a, trans_a);
+  const auto [kb, n] = op_dims(b, trans_b);
+  GOLDFISH_CHECK(kb == k, "gemm inner dims: " + a.shape_str() + " · " +
+                              b.shape_str());
+  const bool per_col = epilogue == runtime::Epilogue::kBiasCol ||
+                       epilogue == runtime::Epilogue::kBiasColRelu;
+  const long want = per_col ? n : m;
+  GOLDFISH_CHECK(bias.rank() == 1 && bias.dim(0) == want,
+                 "gemm_fused bias shape " + bias.shape_str());
+  Tensor c = Tensor::uninit({m, n});
+  runtime::sgemm(trans_a, trans_b, m, n, k, a.data(), a.dim(1), b.data(),
+                 b.dim(1), c.data(), n, /*beta=*/0.0f, epilogue, bias.data());
   return c;
 }
 

@@ -5,6 +5,7 @@
 // otherwise; shape preconditions throw CheckError.
 #pragma once
 
+#include "runtime/gemm.h"
 #include "tensor/tensor.h"
 
 namespace goldfish {
@@ -16,8 +17,19 @@ namespace goldfish {
 /// op(A)/op(B) into contiguous micro-panels and drives a register-tiled
 /// microkernel, parallelized over independent output tiles of C on the
 /// shared runtime Scheduler. Transposes are never materialized; results are
-/// bit-identical for any thread count.
+/// bit-identical for any thread count. C is written in overwrite mode
+/// (beta=0) into an uninitialized tensor — no zero-fill pass.
 Tensor gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b);
+
+/// C = epilogue(op(A)·op(B)): the product with a bias broadcast (and
+/// optionally ReLU) fused into the GEMM writeback instead of separate passes
+/// over C. `bias` must be 1-D with length n for the per-column variants
+/// (linear layers: one bias per output feature) and length m for the per-row
+/// variants (conv: one bias per output channel of the im2col product).
+/// Bit-identical to gemm() followed by the equivalent bias/ReLU passes.
+/// `epilogue` must not be kNone — call gemm() for the plain product.
+Tensor gemm_fused(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                  runtime::Epilogue epilogue, const Tensor& bias);
 
 /// C += op(A)·op(B) accumulated in place (the gradient hot path: avoids a
 /// temporary and an extra pass). Shape of `c` must already match.

@@ -19,10 +19,19 @@ std::size_t Tensor::shape_numel(const Shape& shape) {
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
+Tensor::Tensor(Shape shape, FloatBuffer data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   GOLDFISH_CHECK(data_.size() == shape_numel(shape_),
                  "data size does not match shape");
+}
+
+Tensor Tensor::uninit(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  // resize without a fill value default-initializes the floats (see
+  // DefaultInitAllocator) — allocation only, no memset.
+  t.data_.resize(shape_numel(t.shape_));
+  return t;
 }
 
 Tensor Tensor::full(Shape shape, float value) {
@@ -45,7 +54,7 @@ Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
 
 Tensor Tensor::from(std::initializer_list<float> values) {
   return Tensor({static_cast<long>(values.size())},
-                std::vector<float>(values));
+                FloatBuffer(values.begin(), values.end()));
 }
 
 Tensor Tensor::from2d(
@@ -53,7 +62,7 @@ Tensor Tensor::from2d(
   const long r = static_cast<long>(rows.size());
   GOLDFISH_CHECK(r > 0, "from2d needs at least one row");
   const long c = static_cast<long>(rows.begin()->size());
-  std::vector<float> data;
+  FloatBuffer data;
   data.reserve(static_cast<std::size_t>(r * c));
   for (const auto& row : rows) {
     GOLDFISH_CHECK(static_cast<long>(row.size()) == c, "ragged rows");

@@ -11,7 +11,10 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "tensor/check.h"
@@ -20,6 +23,38 @@
 namespace goldfish {
 
 using Shape = std::vector<long>;
+
+namespace detail {
+
+/// Allocator whose `construct(p)` default-initializes instead of
+/// value-initializing, so `resize` on a float vector allocates without the
+/// memset. Tensor::uninit relies on this; everything else passes an explicit
+/// fill value and is unaffected.
+template <class T>
+class DefaultInitAllocator : public std::allocator<T> {
+ public:
+  DefaultInitAllocator() = default;
+  template <class U>
+  DefaultInitAllocator(const DefaultInitAllocator<U>&) noexcept {}
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  template <class U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
+
+/// Tensor storage: a float vector that skips the zero-fill when resized
+/// without an explicit value (see DefaultInitAllocator).
+using FloatBuffer = std::vector<float, detail::DefaultInitAllocator<float>>;
 
 /// Owning, contiguous, row-major float tensor.
 class Tensor {
@@ -31,11 +66,15 @@ class Tensor {
   explicit Tensor(Shape shape);
 
   /// Tensor with given shape and explicit contents (size must match).
-  Tensor(Shape shape, std::vector<float> data);
+  Tensor(Shape shape, FloatBuffer data);
 
   // -- factories --------------------------------------------------------
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  /// Allocated but *uninitialized* contents — for outputs about to be fully
+  /// overwritten (e.g. a beta=0 GEMM destination). Reading an element before
+  /// writing it is undefined behavior.
+  static Tensor uninit(Shape shape);
   static Tensor full(Shape shape, float value);
   static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
   /// I.i.d. N(mean, stddev²) entries.
@@ -72,8 +111,8 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  FloatBuffer& vec() { return data_; }
+  const FloatBuffer& vec() const { return data_; }
 
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
@@ -117,7 +156,7 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 
   static std::size_t shape_numel(const Shape& shape);
 };
