@@ -1,0 +1,176 @@
+// End-to-end federated-round benchmark (google-benchmark): the pooled
+// zero-allocation FederatedSim::run_round against a verbatim port of the
+// pre-pool round (deep model copy per client, stringstream wire path,
+// index-gathered 256-row evaluation batches — the allocate-everything
+// baseline this PR replaced). Both run the library's default FlConfig
+// (epochs=1, B=100, η=0.001, FedAvg) over the same synthetic federation.
+//
+// items_per_second is rounds/s, so the CI ratchet's machine-independent
+// ratio gate (BM_FlRoundPooled / BM_FlRoundFresh, bench/baseline_ci.json)
+// locks in the round-throughput win, and the allocs_per_round counter —
+// FloatBuffer heap allocations during one steady-state round, via
+// tensor/buffer_pool.h's GOLDFISH_ALLOC_STATS hook — gates the
+// zero-allocation property itself.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/simulation.h"
+#include "metrics/evaluation.h"
+#include "nn/models.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace goldfish {
+namespace {
+
+// One federation shared by both benchmarks: C clients with one B=100 step of
+// local data each and an evaluation-heavy server test set, the regime the
+// round loop runs thousands of times in the paper's experiments.
+constexpr long kClients = 16;
+constexpr long kRowsPerClient = 100;
+constexpr long kTestRows = 4096;
+constexpr long kHidden = 8;
+
+struct Federation {
+  std::vector<data::Dataset> parts;
+  data::Dataset test;
+  nn::Model global;
+
+  Federation() {
+    auto tt = data::make_synthetic(data::default_spec(
+        data::DatasetKind::Mnist, 991, kClients * kRowsPerClient, kTestRows));
+    Rng rng(17);
+    parts = data::partition_iid(tt.train, kClients, rng);
+    test = std::move(tt.test);
+    global = nn::make_mlp({1, 28, 28}, kHidden, 10, rng);
+  }
+};
+
+void BM_FlRoundPooled(benchmark::State& state) {
+  Federation fed;
+  fl::FlConfig cfg;  // library defaults: epochs=1, B=100, η=0.001, fedavg
+  fl::FederatedSim sim(fed.global, fed.parts, fed.test, cfg);
+  sim.run_round();  // warm the pool, arenas and recycler
+  for (auto _ : state) {
+    fl::RoundResult r = sim.run_round();
+    benchmark::DoNotOptimize(r.global_accuracy);
+  }
+  state.SetItemsProcessed(state.iterations());
+  // Steady-state allocation count: one more round, outside the timing loop.
+  // Reported only when the counting hook is compiled in — a build without
+  // GOLDFISH_ALLOC_STATS omits the counter, so the CI gate fails as
+  // "missing" instead of silently passing.
+  if (alloc_stats::enabled()) {
+    const std::size_t before = alloc_stats::heap_allocations();
+    sim.run_round();
+    state.counters["allocs_per_round"] =
+        double(alloc_stats::heap_allocations() - before);
+  }
+}
+BENCHMARK(BM_FlRoundPooled)->Unit(benchmark::kMillisecond);
+
+// -- the pre-pool round, kept verbatim as the old-vs-new baseline ---------
+
+/// The old wire path: serialize → stringstream → deserialize, allocating
+/// the whole buffer (twice) per client per round.
+std::vector<Tensor> legacy_roundtrip(const std::vector<Tensor>& ts,
+                                     std::size_t* bytes_on_wire) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  const std::uint32_t count = static_cast<std::uint32_t>(ts.size());
+  ss.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& t : ts) write_tensor(ss, t);
+  const std::string buf = ss.str();
+  if (bytes_on_wire != nullptr) *bytes_on_wire = buf.size();
+  std::stringstream in(buf, std::ios::in | std::ios::binary);
+  std::uint32_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  std::vector<Tensor> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(read_tensor(in));
+  return out;
+}
+
+/// The old evaluation loop: an index vector plus a gathered batch copy for
+/// every 256-row evaluation batch.
+double legacy_accuracy(nn::Model& model, const data::Dataset& ds,
+                       long batch_size = 256) {
+  long correct = 0;
+  const long n = ds.size();
+  for (long lo = 0; lo < n; lo += batch_size) {
+    const long hi = std::min(n, lo + batch_size);
+    std::vector<std::size_t> idx;
+    idx.reserve(static_cast<std::size_t>(hi - lo));
+    for (long i = lo; i < hi; ++i) idx.push_back(static_cast<std::size_t>(i));
+    auto [x, y] = ds.batch(idx);
+    const Tensor logits = model.forward(x, /*train=*/false);
+    const std::vector<long> pred = argmax_rows(logits);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      if (pred[i] == y[i]) ++correct;
+  }
+  return 100.0 * double(correct) / double(n);
+}
+
+/// FederatedSim::run_round as it was before the model pool: a deep copy of
+/// the global model per client, the stringstream wire path, per-batch
+/// gathered evaluation.
+fl::RoundResult legacy_run_round(nn::Model& global,
+                                 const std::vector<data::Dataset>& clients,
+                                 const data::Dataset& test,
+                                 const fl::FlConfig& cfg, long round) {
+  const std::size_t n = clients.size();
+  std::vector<fl::ClientUpdate> updates(n);
+  std::vector<double> local_acc(n, 0.0);
+  std::atomic<std::size_t> bytes{0};
+  auto agg = fl::make_aggregator(cfg.aggregator);
+
+  runtime::Scheduler::global().parallel_map(n, [&](std::size_t c) {
+    nn::Model local = global;  // broadcast: deep copy of global weights
+    fl::TrainOptions opts = cfg.local;
+    opts.seed = cfg.seed ^ (0x9E3779B9u * (c + 1)) ^
+                static_cast<std::uint64_t>(round);
+    fl::train_local(local, clients[c], opts);
+    std::size_t wire = 0;
+    updates[c].params = legacy_roundtrip(local.snapshot(), &wire);
+    updates[c].dataset_size = clients[c].size();
+    bytes.fetch_add(wire, std::memory_order_relaxed);
+    local_acc[c] = legacy_accuracy(local, test);
+  });
+
+  global.load(agg->aggregate(updates));
+
+  fl::RoundResult r;
+  r.round = round;
+  r.global_accuracy = legacy_accuracy(global, test);
+  r.bytes_uplinked = bytes.load();
+  r.min_local_accuracy = *std::min_element(local_acc.begin(), local_acc.end());
+  r.max_local_accuracy = *std::max_element(local_acc.begin(), local_acc.end());
+  double mean = 0.0;
+  for (double a : local_acc) mean += a;
+  r.mean_local_accuracy = mean / double(n);
+  return r;
+}
+
+void BM_FlRoundFresh(benchmark::State& state) {
+  Federation fed;
+  fl::FlConfig cfg;
+  nn::Model global = fed.global;
+  long round = 0;
+  legacy_run_round(global, fed.parts, fed.test, cfg, round++);  // warm-up
+  for (auto _ : state) {
+    fl::RoundResult r =
+        legacy_run_round(global, fed.parts, fed.test, cfg, round++);
+    benchmark::DoNotOptimize(r.global_accuracy);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlRoundFresh)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace goldfish
+
+BENCHMARK_MAIN();

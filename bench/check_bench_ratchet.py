@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Bench ratchet: fail CI when a tracked kernel regresses.
+"""Bench ratchet: fail CI when a tracked kernel or the FL round regresses.
 
-Usage: check_bench_ratchet.py RESULTS_JSON BASELINE_JSON
+Usage: check_bench_ratchet.py RESULTS_JSON [RESULTS_JSON...] BASELINE_JSON
 
-RESULTS_JSON is the --benchmark_format=json output of bench_micro_kernels.
+Each RESULTS_JSON is --benchmark_format=json output (bench_micro_kernels,
+bench_fl_round, ...); results from all files are merged by benchmark name.
 BASELINE_JSON (bench/baseline_ci.json, checked in) holds:
   * "gflops": per-benchmark GFLOP/s floors. A run fails when a tracked
     benchmark drops more than "tolerance" (fraction, default 0.20) below its
@@ -12,7 +13,12 @@ BASELINE_JSON (bench/baseline_ci.json, checked in) holds:
     accidental O(n^4)), not single-digit-percent noise.
   * "ratios": machine-independent gates, each {"fast": name, "slow": name,
     "min_ratio": r} requiring items_per_second(fast) >= r * (slow). This is
-    how the fused-epilogue win is locked in regardless of runner speed.
+    how the fused-epilogue and pooled-round wins are locked in regardless of
+    runner speed.
+  * "counters_max": exact gates on reported benchmark counters, each
+    {"bench": name, "counter": name, "max": v}. The zero-allocation round
+    gate: bench_fl_round's allocs_per_round counter (FloatBuffer heap
+    allocations in one steady-state round) must stay at 0.
 """
 
 import json
@@ -20,23 +26,27 @@ import sys
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    if len(sys.argv) < 3:
         print(__doc__)
         return 2
-    with open(sys.argv[1]) as f:
-        results = json.load(f)
-    with open(sys.argv[2]) as f:
+    with open(sys.argv[-1]) as f:
         baseline = json.load(f)
 
-    # items_per_second is flops/sec for these benches (SetItemsProcessed of
-    # 2*m*n*k); index every reported benchmark by name.
+    # items_per_second is flops/sec for the kernel benches (SetItemsProcessed
+    # of 2*m*n*k) and rounds/sec for the FL round benches; index every
+    # reported benchmark (and its custom counters) by name.
     measured = {}
-    for bench in results.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate":
-            continue
-        ips = bench.get("items_per_second")
-        if ips is not None:
-            measured[bench["name"]] = ips
+    counters = {}
+    for results_path in sys.argv[1:-1]:
+        with open(results_path) as f:
+            results = json.load(f)
+        for bench in results.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            ips = bench.get("items_per_second")
+            if ips is not None:
+                measured[bench["name"]] = ips
+            counters[bench["name"]] = bench
 
     tolerance = float(baseline.get("tolerance", 0.20))
     failures = []
@@ -73,6 +83,22 @@ def main() -> int:
             failures.append(
                 f"{gate['fast']} is only {ratio:.2f}x {gate['slow']}"
                 f" (need >= {want:.2f}x)")
+
+    for gate in baseline.get("counters_max", []):
+        bench = counters.get(gate["bench"])
+        value = None if bench is None else bench.get(gate["counter"])
+        limit = float(gate["max"])
+        if value is None:
+            failures.append(
+                f"counter {gate['bench']}.{gate['counter']}: missing")
+            continue
+        ok = value <= limit
+        print(f"{gate['bench']}.{gate['counter']}: {value:g}"
+              f" (need <= {limit:g}) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{gate['bench']}.{gate['counter']} is {value:g}"
+                f" (need <= {limit:g})")
 
     if failures:
         print("\nBench ratchet FAILED:", file=sys.stderr)

@@ -29,8 +29,8 @@ void local_unlearn(nn::Model& student, nn::Model& competent,
     for (std::size_t b = 0; b < it_r.num_batches(); ++b) {
       {
         auto [x, y] = d_r.batch(it_r.batch_indices(b));
-        const Tensor t_logits = competent.forward(x, /*train=*/false);
-        const Tensor s_logits = student.forward(x, /*train=*/true);
+        const Tensor& t_logits = competent.forward(x, /*train=*/false);
+        const Tensor& s_logits = student.forward(x, /*train=*/true);
         losses::LossResult kd =
             losses::distillation_loss(t_logits, s_logits,
                                       cfg.kd_temperature);
@@ -38,8 +38,8 @@ void local_unlearn(nn::Model& student, nn::Model& competent,
       }
       if (have_forget) {
         auto [xf, yf] = d_f.batch(it_f.batch_indices(b % f_batches));
-        const Tensor t_logits = incompetent.forward(xf, /*train=*/false);
-        const Tensor s_logits = student.forward(xf, /*train=*/true);
+        const Tensor& t_logits = incompetent.forward(xf, /*train=*/false);
+        const Tensor& s_logits = student.forward(xf, /*train=*/true);
         losses::LossResult kd =
             losses::distillation_loss(t_logits, s_logits,
                                       cfg.kd_temperature);

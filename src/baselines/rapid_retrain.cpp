@@ -25,7 +25,7 @@ std::vector<Tensor> diagonal_fim(nn::Model& model, const data::Dataset& ds,
     std::vector<std::size_t> idx;
     for (long i = lo; i < hi; ++i) idx.push_back(std::size_t(i));
     auto [x, y] = ds.batch(idx);
-    const Tensor logits = model.forward(x, /*train=*/true);
+    const Tensor& logits = model.forward(x, /*train=*/true);
     losses::LossResult r = loss.eval(logits, y);
     model.backward(r.grad_logits);
     // Accumulate squared gradients, then clear for the next batch.
@@ -87,7 +87,7 @@ void train_preconditioned(nn::Model& model, const data::Dataset& ds,
     data::BatchIterator it(ds, opts.batch_size, rng);
     for (std::size_t b = 0; b < it.num_batches(); ++b) {
       auto [x, y] = ds.batch(it.batch_indices(b));
-      const Tensor logits = model.forward(x, /*train=*/true);
+      const Tensor& logits = model.forward(x, /*train=*/true);
       losses::LossResult r = loss->eval(logits, y);
       model.backward(r.grad_logits);
       for (std::size_t i = 0; i < params.size(); ++i) {

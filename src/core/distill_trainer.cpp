@@ -51,8 +51,8 @@ DistillResult goldfish_distill(nn::Model& student, nn::Model& teacher,
       // Remaining-data pass: hard loss + distillation from the teacher.
       {
         auto [x, y] = d_r.batch(it_r.batch_indices(b));
-        const Tensor teacher_logits = teacher.forward(x, /*train=*/false);
-        const Tensor student_logits = student.forward(x, /*train=*/true);
+        const Tensor& teacher_logits = teacher.forward(x, /*train=*/false);
+        const Tensor& student_logits = student.forward(x, /*train=*/true);
         const losses::GoldfishBatchLoss lr =
             loss.eval_remaining(student_logits, y, teacher_logits);
         student.backward(lr.grad_r);
@@ -62,7 +62,7 @@ DistillResult goldfish_distill(nn::Model& student, nn::Model& teacher,
       // Removed-data pass: −L_f (saturated) + confusion loss.
       if (have_forget) {
         auto [xf, yf] = d_f.batch(it_f.batch_indices(b % f_batches));
-        const Tensor student_logits_f = student.forward(xf, /*train=*/true);
+        const Tensor& student_logits_f = student.forward(xf, /*train=*/true);
         const losses::GoldfishBatchLoss lf =
             loss.eval_forget(student_logits_f, yf);
         student.backward(lf.grad_f);

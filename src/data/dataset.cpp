@@ -45,22 +45,41 @@ Dataset Dataset::concat(const Dataset& a, const Dataset& b) {
   return out;
 }
 
-std::pair<Tensor, std::vector<long>> Dataset::batch(
-    const std::vector<std::size_t>& indices) const {
+void Dataset::batch_into(const std::size_t* indices, std::size_t count,
+                         Tensor& x, std::vector<long>& y) const {
   const long d = features.dim(1);
-  Tensor x({static_cast<long>(indices.size()), d});
-  std::vector<long> y;
-  y.reserve(indices.size());
-  for (std::size_t r = 0; r < indices.size(); ++r) {
+  x.resize_uninit({static_cast<long>(count), d});
+  y.resize(count);
+  for (std::size_t r = 0; r < count; ++r) {
     const std::size_t src = indices[r];
     GOLDFISH_CHECK(src < static_cast<std::size_t>(size()),
                    "batch index out of range");
     const float* src_row = features.data() + src * static_cast<std::size_t>(d);
     std::copy(src_row, src_row + d,
               x.data() + r * static_cast<std::size_t>(d));
-    y.push_back(labels[src]);
+    y[r] = labels[src];
   }
+}
+
+std::pair<Tensor, std::vector<long>> Dataset::batch(
+    const std::vector<std::size_t>& indices) const {
+  Tensor x;
+  std::vector<long> y;
+  batch_into(indices.data(), indices.size(), x, y);
   return {std::move(x), std::move(y)};
+}
+
+std::pair<Tensor, const long*> Dataset::batch_view(long lo, long hi) const {
+  GOLDFISH_CHECK(0 <= lo && lo < hi && hi <= size(),
+                 "batch_view range out of bounds");
+  const long d = features.dim(1);
+  Tensor x = Tensor::uninit({hi - lo, d});
+  const float* src = features.data() + static_cast<std::size_t>(lo) *
+                                           static_cast<std::size_t>(d);
+  std::copy(src, src + static_cast<std::size_t>(hi - lo) *
+                           static_cast<std::size_t>(d),
+            x.data());
+  return {std::move(x), labels.data() + lo};
 }
 
 std::vector<long> Dataset::class_histogram() const {
@@ -85,12 +104,17 @@ std::size_t BatchIterator::num_batches() const {
 }
 
 std::vector<std::size_t> BatchIterator::batch_indices(std::size_t b) const {
+  const auto [ptr, count] = batch_span(b);
+  return std::vector<std::size_t>(ptr, ptr + count);
+}
+
+std::pair<const std::size_t*, std::size_t> BatchIterator::batch_span(
+    std::size_t b) const {
   GOLDFISH_CHECK(b < num_batches(), "batch index out of range");
   const std::size_t lo = b * static_cast<std::size_t>(batch_size_);
   const std::size_t hi =
       std::min(order_.size(), lo + static_cast<std::size_t>(batch_size_));
-  return std::vector<std::size_t>(order_.begin() + static_cast<long>(lo),
-                                  order_.begin() + static_cast<long>(hi));
+  return {order_.data() + lo, hi - lo};
 }
 
 }  // namespace goldfish::data

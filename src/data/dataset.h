@@ -29,6 +29,17 @@ struct Dataset {
   std::pair<Tensor, std::vector<long>> batch(
       const std::vector<std::size_t>& indices) const;
 
+  /// batch() into caller-owned storage: `x`/`y` are resized in place, so a
+  /// training loop that reuses them across steps stops allocating once the
+  /// batch shape has been seen.
+  void batch_into(const std::size_t* indices, std::size_t count, Tensor& x,
+                  std::vector<long>& y) const;
+
+  /// Contiguous-range batch [lo, hi): one straight copy of the feature rows
+  /// (no index vector, no per-row gather) plus a pointer into the label
+  /// array. The sequential-evaluation fast path.
+  std::pair<Tensor, const long*> batch_view(long lo, long hi) const;
+
   /// Per-class sample counts (histogram of labels).
   std::vector<long> class_histogram() const;
 };
@@ -44,6 +55,10 @@ class BatchIterator {
 
   /// Index list of batch b (0-based).
   std::vector<std::size_t> batch_indices(std::size_t b) const;
+
+  /// Zero-copy view of batch b's indices (a contiguous range of the epoch
+  /// permutation); valid while the iterator lives.
+  std::pair<const std::size_t*, std::size_t> batch_span(std::size_t b) const;
 
  private:
   const Dataset* ds_;

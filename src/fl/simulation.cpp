@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 
-#include "metrics/evaluation.h"
+#include "runtime/gemm.h"
+#include "tensor/ops.h"
 #include "tensor/serialize.h"
 
 namespace goldfish::fl {
@@ -16,9 +18,11 @@ FederatedSim::FederatedSim(nn::Model global,
       test_(std::move(server_test)),
       cfg_(std::move(cfg)),
       aggregator_(make_aggregator(cfg_.aggregator)),
-      sched_(&runtime::scheduler_for(cfg_.threads, owned_sched_)) {
+      sched_(&runtime::scheduler_for(cfg_.threads, owned_sched_)),
+      eval_(test_, cfg_.eval_batch) {
   GOLDFISH_CHECK(!clients_.empty(), "simulation needs clients");
   GOLDFISH_CHECK(!test_.empty(), "simulation needs a server test set");
+  stackable_ = stackable_mlp();
   // Default behaviour: Algorithm 1's LocalTraining.
   update_fn_ = [this](std::size_t cid, nn::Model& model,
                       const data::Dataset& ds, long round) {
@@ -29,9 +33,109 @@ FederatedSim::FederatedSim(nn::Model global,
   };
 }
 
+FederatedSim::ModelLease::ModelLease(FederatedSim& sim) : sim_(sim) {
+  {
+    std::lock_guard<std::mutex> lock(sim_.pool_mu_);
+    if (!sim_.pool_.empty()) {
+      model_ = std::move(sim_.pool_.back());
+      sim_.pool_.pop_back();
+      return;
+    }
+    ++sim_.pool_total_;
+  }
+  // First time this concurrency depth is reached (at most the scheduler's
+  // parallelism): seed a fresh replica. Every later lease reuses it.
+  model_ = std::make_unique<nn::Model>(sim_.global_);
+}
+
+FederatedSim::ModelLease::~ModelLease() {
+  std::lock_guard<std::mutex> lock(sim_.pool_mu_);
+  sim_.pool_.push_back(std::move(model_));
+}
+
 void FederatedSim::set_client_data(std::size_t c, data::Dataset ds) {
   GOLDFISH_CHECK(c < clients_.size(), "client id out of range");
   clients_[c] = std::move(ds);
+}
+
+bool FederatedSim::stackable_mlp() const {
+  // The `mlp<h>` factory family: Sequential[Linear → ReLU → Linear], whose
+  // snapshot is exactly [W1 (h,D), b1 (h), W2 (K,h), b2 (K)]. Anything else
+  // (conv nets, deeper stacks) evaluates per client through the pool.
+  if (global_.arch_name().rfind("mlp", 0) != 0) return false;
+  const auto snap = const_cast<nn::Model&>(global_).snapshot();
+  if (snap.size() != 4) return false;
+  return snap[0].rank() == 2 && snap[1].rank() == 1 &&
+         snap[2].rank() == 2 && snap[3].rank() == 1 &&
+         snap[0].dim(0) == snap[1].dim(0) &&
+         snap[2].dim(1) == snap[0].dim(0) &&
+         snap[2].dim(0) == snap[3].dim(0);
+}
+
+void FederatedSim::stacked_local_accuracy(
+    const std::vector<ClientUpdate>& updates, std::vector<double>& local_acc) {
+  const long n = static_cast<long>(updates.size());
+  const long h = updates[0].params[0].dim(0);   // hidden width per client
+  const long d = updates[0].params[0].dim(1);   // input features
+  const long k = updates[0].params[2].dim(0);   // classes
+  const long nh = n * h;
+
+  // Concatenate every client's hidden layer: rows [c·h, (c+1)·h) of the
+  // stacked weight matrix are client c's W1.
+  stacked_w_.resize_uninit({nh, d});
+  stacked_b_.resize_uninit({nh});
+  for (long c = 0; c < n; ++c) {
+    const Tensor& w1 = updates[static_cast<std::size_t>(c)].params[0];
+    const Tensor& b1 = updates[static_cast<std::size_t>(c)].params[1];
+    std::memcpy(stacked_w_.data() + c * h * d, w1.data(),
+                static_cast<std::size_t>(h * d) * sizeof(float));
+    std::memcpy(stacked_b_.data() + c * h, b1.data(),
+                static_cast<std::size_t>(h) * sizeof(float));
+  }
+
+  const long rows_total = test_.size();
+  // Bound the stacked activation block (chunk × C·h floats) when no explicit
+  // evaluation batch is configured.
+  long chunk = cfg_.eval_batch;
+  if (chunk == 0 && rows_total * nh > (1L << 24))
+    chunk = std::max(256L, (1L << 24) / nh);
+  if (chunk == 0 || chunk > rows_total) chunk = rows_total;
+
+  std::vector<long> correct(static_cast<std::size_t>(n), 0);
+  for (long lo = 0; lo < rows_total; lo += chunk) {
+    const long hi = std::min(rows_total, lo + chunk);
+    const long rows = hi - lo;
+    const bool whole = lo == 0 && hi == rows_total;
+    Tensor x_chunk;
+    const long* y;
+    if (whole) {
+      y = test_.labels.data();
+    } else {
+      auto view = test_.batch_view(lo, hi);
+      x_chunk = std::move(view.first);
+      y = view.second;
+    }
+    const Tensor& x = whole ? test_.features : x_chunk;
+    // All clients' hidden activations in one fused GEMM: relu(x·Wᵀ + b),
+    // exactly the peepholed Linear→ReLU forward, column block c = client c.
+    gemm_fused_into(stacked_y_, x, stacked_w_, false, true,
+                    runtime::Epilogue::kBiasColRelu, stacked_b_);
+    // Each client's logits head reads its strided slice of the block.
+    sched_->parallel_map(static_cast<std::size_t>(n), [&](std::size_t c) {
+      const Tensor& w2 = updates[c].params[2];
+      const Tensor& b2 = updates[c].params[3];
+      Tensor logits = Tensor::uninit({rows, k});
+      runtime::sgemm(false, true, rows, k, h,
+                     stacked_y_.data() + static_cast<long>(c) * h, nh,
+                     w2.data(), h, logits.data(), k, /*beta=*/0.0f,
+                     runtime::Epilogue::kBiasCol, b2.data());
+      correct[c] += metrics::correct_predictions(logits, y, rows);
+    });
+  }
+  for (long c = 0; c < n; ++c)
+    local_acc[static_cast<std::size_t>(c)] =
+        100.0 * double(correct[static_cast<std::size_t>(c)]) /
+        double(rows_total);
 }
 
 RoundResult FederatedSim::run_round() {
@@ -39,24 +143,32 @@ RoundResult FederatedSim::run_round() {
   std::vector<ClientUpdate> updates(n);
   std::vector<double> local_acc(n, 0.0);
   std::atomic<std::size_t> bytes{0};
+  const bool stacked = stackable_;
 
   sched_->parallel_map(n, [&](std::size_t c) {
-    nn::Model local = global_;  // broadcast: deep copy of global weights
+    ModelLease lease(*this);
+    nn::Model& local = lease.get();
+    local.copy_from(global_);  // broadcast: in-place copy over pooled storage
     update_fn_(c, local, clients_[c], round_);
     // Upload path: serialize → wire → deserialize, counting bytes.
     std::size_t wire = 0;
     updates[c].params = roundtrip_through_bytes(local.snapshot(), &wire);
     updates[c].dataset_size = clients_[c].size();
     bytes.fetch_add(wire, std::memory_order_relaxed);
-    local_acc[c] = metrics::accuracy(local, test_);
+    // Batched client evaluation happens after the barrier when the family
+    // supports weight stacking; otherwise evaluate with the leased model.
+    if (!stacked) local_acc[c] = eval_.accuracy(local);
   });
+
+  if (stacked) stacked_local_accuracy(updates, local_acc);
 
   // Server-side MSE scoring (Eq. 12 operates on the server's test set).
   if (aggregator_->name() == "adaptive") {
     sched_->parallel_map(n, [&](std::size_t c) {
-      nn::Model scratch = global_;
-      scratch.load(updates[c].params);
-      updates[c].mse = metrics::mse(scratch, test_);
+      ModelLease lease(*this);
+      nn::Model& scratch = lease.get();
+      scratch.load(updates[c].params);  // load covers every parameter
+      updates[c].mse = eval_.mse(scratch);
     });
   }
 
@@ -64,7 +176,7 @@ RoundResult FederatedSim::run_round() {
 
   RoundResult r;
   r.round = round_++;
-  r.global_accuracy = metrics::accuracy(global_, test_);
+  r.global_accuracy = eval_.accuracy(global_);
   r.bytes_uplinked = bytes.load();
   r.min_local_accuracy = *std::min_element(local_acc.begin(), local_acc.end());
   r.max_local_accuracy = *std::max_element(local_acc.begin(), local_acc.end());

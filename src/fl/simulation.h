@@ -2,26 +2,43 @@
 // rounds, pluggable client update logic and aggregation. Client uploads pass
 // through real (de)serialization so the wire path is exercised and byte
 // counts are measurable.
+//
+// The round loop is allocation-free at steady state: client models come from
+// a pool of replicas (broadcast is an in-place copy_from of the global
+// parameters, not a deep copy), every layer writes into its model's
+// Workspace arena, the wire path reuses per-thread buffers, evaluation runs
+// the stacked server test set through each model in large contiguous
+// batches, and remaining tensor temporaries are recycled by a
+// BufferPoolScope held for the simulation's lifetime. Results are
+// bit-identical to the historical allocate-per-round path at any thread
+// count (tests/fl_test.cpp pins this against a verbatim reference round).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "fl/aggregation.h"
 #include "fl/trainer.h"
+#include "metrics/evaluation.h"
 #include "runtime/scheduler.h"
+#include "tensor/buffer_pool.h"
 
 namespace goldfish::fl {
 
 struct FlConfig {
   TrainOptions local;                ///< per-round local training options
-  std::string aggregator = "fedavg"; ///< "fedavg" | "adaptive"
+  std::string aggregator = "fedavg"; ///< "fedavg" | "uniform" | "adaptive"
   /// 0 → share the process-wide runtime Scheduler (the normal case; client
   /// tasks and the kernels inside them draw from one pool). Non-zero → a
   /// private Scheduler with that parallelism for *client-level* tasks only;
   /// kernels inside them still use the global pool, so to pin the whole
   /// process set GOLDFISH_THREADS instead.
   std::size_t threads = 0;
+  /// Rows per server-side evaluation batch; 0 (default) auto-bounds the
+  /// chunk (~2^21 input floats; sets below that run as one fused forward
+  /// pass per model). Accuracy/MSE are bit-identical for any value.
+  long eval_batch = 0;
   std::uint64_t seed = 7;
 };
 
@@ -50,8 +67,9 @@ class FederatedSim {
   /// Replace the default (plain LocalTraining) client update.
   void set_client_update(ClientUpdateFn fn) { update_fn_ = std::move(fn); }
 
-  /// Execute one synchronous round: broadcast → parallel local updates →
-  /// serialize/upload → (adaptive: server-side MSE scoring) → aggregate.
+  /// Execute one synchronous round: pooled broadcast → parallel local
+  /// updates → serialize/upload → (adaptive: server-side MSE scoring) →
+  /// aggregate.
   RoundResult run_round();
 
   /// Run `rounds` rounds, collecting telemetry.
@@ -64,10 +82,31 @@ class FederatedSim {
   }
   std::size_t num_clients() const { return clients_.size(); }
 
+  /// Number of pooled client-model replicas currently alive (grows on
+  /// demand, bounded by the scheduler's parallelism).
+  std::size_t pool_size() const { return pool_total_; }
+
   /// Replace one client's dataset (deletion requests mutate local data).
   void set_client_data(std::size_t c, data::Dataset ds);
 
  private:
+  /// RAII lease of a pooled model replica: pops a free replica (cloning the
+  /// global model only when the pool has never been this deep — i.e. round
+  /// 1), returns it on destruction. Leases never outlive the sim.
+  class ModelLease {
+   public:
+    explicit ModelLease(FederatedSim& sim);
+    ~ModelLease();
+    nn::Model& get() { return *model_; }
+
+   private:
+    FederatedSim& sim_;
+    std::unique_ptr<nn::Model> model_;
+  };
+
+  // Declared first so it is destroyed last: models returning to the pool on
+  // teardown park their storage here before the scope drains it.
+  BufferPoolScope recycle_;
   nn::Model global_;
   std::vector<data::Dataset> clients_;
   data::Dataset test_;
@@ -75,8 +114,30 @@ class FederatedSim {
   std::unique_ptr<Aggregator> aggregator_;
   std::unique_ptr<runtime::Scheduler> owned_sched_;  // only when cfg.threads
   runtime::Scheduler* sched_;  // the pool client tasks run on
+  metrics::BatchedEvaluator eval_;
   ClientUpdateFn update_fn_;
   long round_ = 0;
+
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<nn::Model>> pool_;  // free replicas
+  std::size_t pool_total_ = 0;                    // replicas ever created
+
+  /// True when the global model is a two-layer MLP (the `mlp<h>` family),
+  /// whose per-client evaluation can be stacked into one wide GEMM.
+  bool stackable_mlp() const;
+  /// Batched client evaluation: concatenate every client's hidden-layer
+  /// weights into one (C·h, D) matrix so a single fused GEMM per test chunk
+  /// computes all clients' hidden activations — the test set is read and
+  /// packed once per round instead of once per client — then run each
+  /// client's logits head on its strided slice. Bit-identical to evaluating
+  /// the clients one at a time (each output column's k-reduction is
+  /// independent of how the batch or the column block is tiled).
+  void stacked_local_accuracy(const std::vector<ClientUpdate>& updates,
+                              std::vector<double>& local_acc);
+
+  // Stacked-evaluation scratch, reused across rounds.
+  Tensor stacked_w_, stacked_b_, stacked_y_;
+  bool stackable_ = false;  // computed once: the architecture never changes
 };
 
 }  // namespace goldfish::fl

@@ -17,12 +17,15 @@ TrainStats train_local(nn::Model& model, const data::Dataset& ds,
   Rng rng(opts.seed);
 
   TrainStats stats;
+  Tensor x;             // batch storage reused across steps and epochs
+  std::vector<long> y;
   for (long e = 0; e < opts.epochs; ++e) {
     data::BatchIterator it(ds, opts.batch_size, rng);
     double epoch_loss = 0.0;
     for (std::size_t b = 0; b < it.num_batches(); ++b) {
-      auto [x, y] = ds.batch(it.batch_indices(b));
-      const Tensor logits = model.forward(x, /*train=*/true);
+      const auto [idx, count] = it.batch_span(b);
+      ds.batch_into(idx, count, x, y);
+      const Tensor& logits = model.forward(x, /*train=*/true);
       losses::LossResult r = loss->eval(logits, y);
       model.backward(r.grad_logits);
       sgd.step(model);
@@ -43,10 +46,9 @@ float dataset_loss(nn::Model& model, const data::Dataset& ds,
   const long n = ds.size();
   for (long lo = 0; lo < n; lo += batch_size) {
     const long hi = std::min(n, lo + batch_size);
-    std::vector<std::size_t> idx;
-    for (long i = lo; i < hi; ++i) idx.push_back(std::size_t(i));
-    auto [x, y] = ds.batch(idx);
-    const Tensor logits = model.forward(x, /*train=*/false);
+    auto [x, yp] = ds.batch_view(lo, hi);
+    const std::vector<long> y(yp, yp + (hi - lo));
+    const Tensor& logits = model.forward(x, /*train=*/false);
     total += loss.eval(logits, y).value;
     ++batches;
   }

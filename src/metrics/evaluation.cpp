@@ -9,7 +9,9 @@ namespace goldfish::metrics {
 
 namespace {
 
-/// Run fn over the dataset in sequential batches (no shuffling).
+/// Run fn(logits, labels, rows) over the dataset in sequential batches (no
+/// shuffling). Batches are contiguous row ranges, so batch_view's straight
+/// copy replaces the index-vector + per-row gather the old path did.
 template <typename Fn>
 void for_batches(nn::Model& model, const data::Dataset& ds, long batch_size,
                  Fn&& fn) {
@@ -17,25 +19,52 @@ void for_batches(nn::Model& model, const data::Dataset& ds, long batch_size,
   const long n = ds.size();
   for (long lo = 0; lo < n; lo += batch_size) {
     const long hi = std::min(n, lo + batch_size);
-    std::vector<std::size_t> idx;
-    idx.reserve(static_cast<std::size_t>(hi - lo));
-    for (long i = lo; i < hi; ++i)
-      idx.push_back(static_cast<std::size_t>(i));
-    auto [x, y] = ds.batch(idx);
-    const Tensor logits = model.forward(x, /*train=*/false);
-    fn(logits, y);
+    auto [x, y] = ds.batch_view(lo, hi);
+    const Tensor& logits = model.forward(x, /*train=*/false);
+    fn(logits, y, hi - lo);
   }
 }
 
 }  // namespace
 
+long correct_predictions(const Tensor& logits, const long* labels,
+                         long rows) {
+  const long c = logits.dim(1);
+  const float* row = logits.data();
+  long correct = 0;
+  for (long i = 0; i < rows; ++i, row += c) {
+    long best = 0;
+    float bv = row[0];
+    for (long j = 1; j < c; ++j) {
+      if (row[j] > bv) {
+        bv = row[j];
+        best = j;
+      }
+    }
+    if (best == labels[i]) ++correct;
+  }
+  return correct;
+}
+
+void accumulate_squared_error(const Tensor& probs, const long* labels,
+                              long rows, double& total) {
+  const long c = probs.dim(1);
+  const float* row = probs.data();
+  for (long i = 0; i < rows; ++i, row += c) {
+    const long yi = labels[i];
+    for (long j = 0; j < c; ++j) {
+      const double target = (j == yi) ? 1.0 : 0.0;
+      const double d = double(row[j]) - target;
+      total += d * d;
+    }
+  }
+}
+
 double accuracy(nn::Model& model, const data::Dataset& ds, long batch_size) {
   long correct = 0;
   for_batches(model, ds, batch_size,
-              [&](const Tensor& logits, const std::vector<long>& y) {
-                const std::vector<long> pred = argmax_rows(logits);
-                for (std::size_t i = 0; i < y.size(); ++i)
-                  if (pred[i] == y[i]) ++correct;
+              [&](const Tensor& logits, const long* y, long rows) {
+                correct += correct_predictions(logits, y, rows);
               });
   return 100.0 * double(correct) / double(ds.size());
 }
@@ -49,17 +78,9 @@ double attack_success_rate(nn::Model& model, const data::Dataset& probe,
 double mse(nn::Model& model, const data::Dataset& ds, long batch_size) {
   double total = 0.0;
   for_batches(model, ds, batch_size,
-              [&](const Tensor& logits, const std::vector<long>& y) {
-                const Tensor p = softmax_rows(logits);
-                const long c = p.dim(1);
-                for (long i = 0; i < p.dim(0); ++i) {
-                  for (long j = 0; j < c; ++j) {
-                    const double target =
-                        (j == y[static_cast<std::size_t>(i)]) ? 1.0 : 0.0;
-                    const double d = double(p.at(i, j)) - target;
-                    total += d * d;
-                  }
-                }
+              [&](const Tensor& logits, const long* y, long rows) {
+                accumulate_squared_error(softmax_rows(logits), y, rows,
+                                         total);
               });
   return total / (double(ds.size()) * double(ds.num_classes));
 }
@@ -68,9 +89,9 @@ std::vector<double> mean_prediction(nn::Model& model, const data::Dataset& ds,
                                     long batch_size) {
   std::vector<double> mean(static_cast<std::size_t>(ds.num_classes), 0.0);
   for_batches(model, ds, batch_size,
-              [&](const Tensor& logits, const std::vector<long>&) {
+              [&](const Tensor& logits, const long*, long rows) {
                 const Tensor p = softmax_rows(logits);
-                for (long i = 0; i < p.dim(0); ++i)
+                for (long i = 0; i < rows; ++i)
                   for (long j = 0; j < p.dim(1); ++j)
                     mean[static_cast<std::size_t>(j)] += p.at(i, j);
               });
@@ -84,9 +105,9 @@ std::vector<double> confidence_series(nn::Model& model,
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(ds.size()));
   for_batches(model, ds, batch_size,
-              [&](const Tensor& logits, const std::vector<long>&) {
+              [&](const Tensor& logits, const long*, long rows) {
                 const Tensor p = softmax_rows(logits);
-                for (long i = 0; i < p.dim(0); ++i) {
+                for (long i = 0; i < rows; ++i) {
                   float mx = 0.0f;
                   for (long j = 0; j < p.dim(1); ++j)
                     mx = std::max(mx, p.at(i, j));
@@ -94,6 +115,53 @@ std::vector<double> confidence_series(nn::Model& model,
                 }
               });
   return out;
+}
+
+BatchedEvaluator::BatchedEvaluator(const data::Dataset& ds, long chunk_rows)
+    : ds_(&ds), chunk_(chunk_rows) {
+  GOLDFISH_CHECK(!ds.empty(), "evaluator needs a non-empty dataset");
+  GOLDFISH_CHECK(chunk_rows >= 0, "negative evaluation chunk");
+  // chunk_rows == 0 means "as large as is sane": bound the input block at
+  // ~2^21 floats so activation slots (a small multiple of the input for the
+  // paper's models) stay modest even with several pooled models evaluating
+  // concurrently. Results are chunking-invariant, so this is purely a
+  // memory knob.
+  if (chunk_ == 0 && ds.size() * ds.features.dim(1) > (1L << 21))
+    chunk_ = std::max(256L, (1L << 21) / ds.features.dim(1));
+}
+
+template <typename Fn>
+void BatchedEvaluator::for_chunks(nn::Model& model, Fn&& fn) const {
+  const long n = ds_->size();
+  if (chunk_ == 0 || chunk_ >= n) {
+    // Whole-set fast path: the stacked feature matrix goes through the
+    // model directly — no batch copy at all.
+    const Tensor& logits = model.forward(ds_->features, /*train=*/false);
+    fn(logits, ds_->labels.data(), n);
+    return;
+  }
+  for (long lo = 0; lo < n; lo += chunk_) {
+    const long hi = std::min(n, lo + chunk_);
+    auto [x, y] = ds_->batch_view(lo, hi);
+    const Tensor& logits = model.forward(x, /*train=*/false);
+    fn(logits, y, hi - lo);
+  }
+}
+
+double BatchedEvaluator::accuracy(nn::Model& model) const {
+  long correct = 0;
+  for_chunks(model, [&](const Tensor& logits, const long* y, long rows) {
+    correct += correct_predictions(logits, y, rows);
+  });
+  return 100.0 * double(correct) / double(ds_->size());
+}
+
+double BatchedEvaluator::mse(nn::Model& model) const {
+  double total = 0.0;
+  for_chunks(model, [&](const Tensor& logits, const long* y, long rows) {
+    accumulate_squared_error(softmax_rows(logits), y, rows, total);
+  });
+  return total / (double(ds_->size()) * double(ds_->num_classes));
 }
 
 }  // namespace goldfish::metrics

@@ -7,6 +7,17 @@
 
 namespace goldfish::metrics {
 
+/// Number of rows of `logits` whose argmax equals labels[i]. Strict '>'
+/// keeps the first maximum, so ties resolve identically everywhere accuracy
+/// is counted (free-function, batched-evaluator and stacked-client paths).
+long correct_predictions(const Tensor& logits, const long* labels, long rows);
+
+/// total += Σ over rows and classes of (probs[i,j] − onehot(labels[i]))²,
+/// accumulated in row-major order (the Eq. 12 inner sum; the fixed order
+/// keeps MSE bit-identical across evaluation chunkings).
+void accumulate_squared_error(const Tensor& probs, const long* labels,
+                              long rows, double& total);
+
 /// Classification accuracy (%) of a model over a dataset, evaluated in
 /// batches (eval mode, running batch-norm stats).
 double accuracy(nn::Model& model, const data::Dataset& ds,
@@ -31,5 +42,32 @@ std::vector<double> mean_prediction(nn::Model& model, const data::Dataset& ds,
 std::vector<double> confidence_series(nn::Model& model,
                                       const data::Dataset& ds,
                                       long batch_size = 256);
+
+/// Batched evaluation over one fixed dataset: the server-side evaluator the
+/// FL round loop runs every pooled client model (and the global model)
+/// through. The dataset is "stacked" once — its feature matrix is already
+/// contiguous, so a chunk covering the whole set goes through the model as
+/// a single batch with one fused GEMM per layer and zero copies; larger
+/// sets run in contiguous batch_view slices (no index-vector gather).
+/// chunk_rows == 0 picks an automatic bound (~2^21 input floats per chunk,
+/// whole-set below that). Per-row results are bit-identical for any
+/// chunking: the GEMM backbone reduces k in a fixed order per output
+/// element regardless of the batch dimension.
+class BatchedEvaluator {
+ public:
+  explicit BatchedEvaluator(const data::Dataset& ds, long chunk_rows = 0);
+
+  double accuracy(nn::Model& model) const;
+  double mse(nn::Model& model) const;
+
+  const data::Dataset& dataset() const { return *ds_; }
+
+ private:
+  template <typename Fn>
+  void for_chunks(nn::Model& model, Fn&& fn) const;
+
+  const data::Dataset* ds_;
+  long chunk_;  // rows per forward; 0 = whole set
+};
 
 }  // namespace goldfish::metrics

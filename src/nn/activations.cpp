@@ -1,14 +1,19 @@
 #include "nn/activations.h"
 
+#include <algorithm>
+
 namespace goldfish::nn {
 
-Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
-  mask_ = Tensor(x.shape());
-  Tensor y = x;
+const Tensor& ReLU::forward(const Tensor& x, bool /*train*/) {
+  Tensor& y = slot(0, x.shape());
+  Tensor& mask = slot(1, x.shape());
+  mask_shape_ = x.shape();
+  const float* xd = x.data();
   float* yd = y.data();
-  float* md = mask_.data();
+  float* md = mask.data();
   for (std::size_t i = 0; i < y.numel(); ++i) {
-    if (yd[i] > 0.0f) {
+    if (xd[i] > 0.0f) {
+      yd[i] = xd[i];
       md[i] = 1.0f;
     } else {
       yd[i] = 0.0f;
@@ -18,46 +23,59 @@ Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
-Tensor ReLU::backward(const Tensor& grad_output) {
-  GOLDFISH_CHECK(grad_output.same_shape(mask_), "relu grad shape");
-  Tensor g = grad_output;
+const Tensor& ReLU::backward(const Tensor& grad_output) {
+  GOLDFISH_CHECK(grad_output.shape() == mask_shape_, "relu grad shape");
+  const Tensor& mask = slot(1, mask_shape_);  // same shape: contents intact
+  Tensor& g = slot(2, grad_output.shape());
+  const float* gd_in = grad_output.data();
+  const float* md = mask.data();
   float* gd = g.data();
-  const float* md = mask_.data();
-  for (std::size_t i = 0; i < g.numel(); ++i) gd[i] *= md[i];
+  for (std::size_t i = 0; i < g.numel(); ++i) gd[i] = gd_in[i] * md[i];
   return g;
 }
 
 std::unique_ptr<Layer> ReLU::clone() const {
   auto copy = std::make_unique<ReLU>(*this);
-  copy->mask_ = Tensor();
+  copy->mask_shape_.clear();
   return copy;
 }
 
-Tensor Unflatten::forward(const Tensor& x, bool /*train*/) {
+const Tensor& Unflatten::forward(const Tensor& x, bool /*train*/) {
   if (x.rank() == 4) return x;  // already image-shaped
   GOLDFISH_CHECK(x.rank() == 2 && x.dim(1) == c_ * h_ * w_,
                  "unflatten input shape " + x.shape_str());
-  return x.reshaped({x.dim(0), c_, h_, w_});
+  Tensor& y = slot(0, {x.dim(0), c_, h_, w_});
+  std::copy(x.data(), x.data() + x.numel(), y.data());
+  return y;
 }
 
-Tensor Unflatten::backward(const Tensor& grad_output) {
-  return grad_output.reshaped({grad_output.dim(0), c_ * h_ * w_});
+const Tensor& Unflatten::backward(const Tensor& grad_output) {
+  Tensor& g = slot(1, {grad_output.dim(0), c_ * h_ * w_});
+  std::copy(grad_output.data(), grad_output.data() + grad_output.numel(),
+            g.data());
+  return g;
 }
 
 std::unique_ptr<Layer> Unflatten::clone() const {
   return std::make_unique<Unflatten>(*this);
 }
 
-Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+const Tensor& Flatten::forward(const Tensor& x, bool /*train*/) {
   cached_shape_ = x.shape();
   GOLDFISH_CHECK(x.rank() >= 2, "flatten needs a batch dimension");
   long features = 1;
   for (std::size_t i = 1; i < x.rank(); ++i) features *= x.dim(i);
-  return x.reshaped({x.dim(0), features});
+  Tensor& y = slot(0, {x.dim(0), features});
+  std::copy(x.data(), x.data() + x.numel(), y.data());
+  return y;
 }
 
-Tensor Flatten::backward(const Tensor& grad_output) {
-  return grad_output.reshaped(cached_shape_);
+const Tensor& Flatten::backward(const Tensor& grad_output) {
+  Tensor& g = slot(1, cached_shape_);
+  GOLDFISH_CHECK(g.numel() == grad_output.numel(), "flatten grad size");
+  std::copy(grad_output.data(), grad_output.data() + grad_output.numel(),
+            g.data());
+  return g;
 }
 
 std::unique_ptr<Layer> Flatten::clone() const {

@@ -11,13 +11,14 @@ namespace goldfish::nn {
 /// this layer is skipped in both passes (so its mask stays unset).
 class ReLU final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& x, bool train) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "relu"; }
+  std::size_t local_slots() const override { return 3; }  // y, mask, dx
 
  private:
-  Tensor mask_;  // 1 where input > 0
+  Shape mask_shape_;  // shape the mask slot was written for (empty = none)
 };
 
 /// Reshape (N, C·H·W) → (N,C,H,W). Datasets store flat feature vectors
@@ -27,10 +28,11 @@ class Unflatten final : public Layer {
   Unflatten(long channels, long height, long width)
       : c_(channels), h_(height), w_(width) {}
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& x, bool train) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "unflatten"; }
+  std::size_t local_slots() const override { return 2; }  // y, dx
 
  private:
   long c_, h_, w_;
@@ -39,10 +41,11 @@ class Unflatten final : public Layer {
 /// Reshape (N,C,H,W) → (N, C·H·W); pure bookkeeping, gradient reshapes back.
 class Flatten final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& x, bool train) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "flatten"; }
+  std::size_t local_slots() const override { return 2; }  // y, dx
 
  private:
   Shape cached_shape_;

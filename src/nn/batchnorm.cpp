@@ -20,17 +20,18 @@ BatchNorm2d::BatchNorm2d(long channels, float momentum, float eps)
   GOLDFISH_CHECK(channels > 0, "bad batchnorm channels");
 }
 
-Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+const Tensor& BatchNorm2d::forward(const Tensor& x, bool train) {
   GOLDFISH_CHECK(x.rank() == 4 && x.dim(1) == channels_,
                  "batchnorm input shape " + x.shape_str());
   in_shape_ = x.shape();
   const long N = x.dim(0), C = channels_, H = x.dim(2), W = x.dim(3);
   const long per_channel = N * H * W;
-  Tensor out(x.shape());
+  Tensor& out = slot(0, x.shape());
 
   if (train) {
-    cached_xhat_ = Tensor(x.shape());
-    cached_inv_std_ = Tensor({C});
+    Tensor& xhat = slot(1, x.shape());
+    cached_inv_std_.resize_uninit({C});
+    has_train_cache_ = true;
     // Channels are independent (each writes its own slice of out/x̂ and its
     // own running-stat entries) → parallel over c on the shared runtime.
     parallel_for(C, [&](long c_lo, long c_hi) {
@@ -56,7 +57,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
           for (long xo = 0; xo < W; ++xo) {
             const float xh =
                 (x.at4(n, c, y, xo) - static_cast<float>(mean)) * inv_std;
-            cached_xhat_.at4(n, c, y, xo) = xh;
+            xhat.at4(n, c, y, xo) = xh;
             out.at4(n, c, y, xo) = g * xh + b;
           }
       running_mean_[std::size_t(c)] =
@@ -85,14 +86,15 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   return out;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_output) {
-  GOLDFISH_CHECK(!cached_xhat_.empty(),
+const Tensor& BatchNorm2d::backward(const Tensor& grad_output) {
+  GOLDFISH_CHECK(has_train_cache_,
                  "batchnorm backward requires a training forward");
   GOLDFISH_CHECK(grad_output.shape() == in_shape_, "batchnorm grad shape");
   const long N = in_shape_[0], C = channels_, H = in_shape_[2],
              W = in_shape_[3];
   const long m = N * H * W;
-  Tensor gin(in_shape_);
+  const Tensor& xhat = slot(1, in_shape_);  // same shape: contents intact
+  Tensor& gin = slot(2, in_shape_);
   parallel_for(C, [&](long c_lo, long c_hi) {
   for (long c = c_lo; c < c_hi; ++c) {
     // Standard batch-norm backward:
@@ -103,7 +105,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
         for (long xo = 0; xo < W; ++xo) {
           const float dy = grad_output.at4(n, c, y, xo);
           sum_dy += dy;
-          sum_dy_xhat += double(dy) * cached_xhat_.at4(n, c, y, xo);
+          sum_dy_xhat += double(dy) * xhat.at4(n, c, y, xo);
         }
     grad_beta_[std::size_t(c)] += static_cast<float>(sum_dy);
     grad_gamma_[std::size_t(c)] += static_cast<float>(sum_dy_xhat);
@@ -114,7 +116,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
       for (long y = 0; y < H; ++y)
         for (long xo = 0; xo < W; ++xo) {
           const float dy = grad_output.at4(n, c, y, xo);
-          const float xh = cached_xhat_.at4(n, c, y, xo);
+          const float xh = xhat.at4(n, c, y, xo);
           gin.at4(n, c, y, xo) =
               scale * (static_cast<float>(m) * dy -
                        static_cast<float>(sum_dy) -
@@ -140,8 +142,9 @@ std::unique_ptr<Layer> BatchNorm2d::clone() const {
   auto copy = std::make_unique<BatchNorm2d>(*this);
   copy->grad_gamma_.zero();
   copy->grad_beta_.zero();
-  copy->cached_xhat_ = Tensor();
   copy->cached_inv_std_ = Tensor();
+  copy->has_train_cache_ = false;
+  copy->in_shape_.clear();
   return copy;
 }
 

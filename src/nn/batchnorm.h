@@ -14,11 +14,12 @@ class BatchNorm2d final : public Layer {
   explicit BatchNorm2d(long channels, float momentum = 0.1f,
                        float eps = 1e-5f);
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& x, bool train) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
   std::string name() const override;
+  std::size_t local_slots() const override { return 3; }  // out, x̂, dx
 
  private:
   long channels_ = 0;
@@ -27,10 +28,10 @@ class BatchNorm2d final : public Layer {
   Tensor gamma_, beta_;            // learnable (C)
   Tensor grad_gamma_, grad_beta_;  // accumulators (C)
   Tensor running_mean_, running_var_;
-  // Backward caches (training batches only).
-  Tensor cached_xhat_;   // normalized activations
+  // Backward caches (training batches only); x̂ lives in slot 1.
   Tensor cached_inv_std_;  // (C)
   Shape in_shape_;
+  bool has_train_cache_ = false;  // a training forward populated slot 1
 };
 
 }  // namespace goldfish::nn

@@ -21,9 +21,9 @@ Conv2d::Conv2d(long in_channels, long out_channels, long kernel, long stride,
   grad_bias_ = Tensor::zeros({out_channels});
 }
 
-Tensor Conv2d::pack_output(const Tensor& flat, long batch) const {
+Tensor& Conv2d::pack_output(const Tensor& flat, long batch) {
   const long oh = geom_.out_h(), ow = geom_.out_w();
-  Tensor img({batch, out_channels_, oh, ow});
+  Tensor& img = slot(1, {batch, out_channels_, oh, ow});
   // flat is (outC, N·oh·ow) with columns ordered (n, y, x).
   for (long c = 0; c < out_channels_; ++c) {
     const float* row = flat.data() + c * batch * oh * ow;
@@ -35,10 +35,10 @@ Tensor Conv2d::pack_output(const Tensor& flat, long batch) const {
   return img;
 }
 
-Tensor Conv2d::unpack_grad(const Tensor& grad_img) const {
+Tensor& Conv2d::unpack_grad(const Tensor& grad_img) {
   const long batch = grad_img.dim(0);
   const long oh = geom_.out_h(), ow = geom_.out_w();
-  Tensor flat({out_channels_, batch * oh * ow});
+  Tensor& flat = slot(2, {out_channels_, batch * oh * ow});
   for (long c = 0; c < out_channels_; ++c) {
     float* row = flat.data() + c * batch * oh * ow;
     for (long n = 0; n < batch; ++n)
@@ -49,20 +49,21 @@ Tensor Conv2d::unpack_grad(const Tensor& grad_img) const {
   return flat;
 }
 
-Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+const Tensor& Conv2d::forward(const Tensor& x, bool /*train*/) {
   GOLDFISH_CHECK(x.rank() == 4, "conv expects (N,C,H,W)");
   cached_batch_ = x.dim(0);
-  cached_cols_ = im2col(x, geom_);
+  im2col_into(x, geom_, cached_cols_);
   // Per-channel bias = one value per row of the (outC, N·oh·ow) product,
   // fused into the GEMM writeback instead of a second pass over the output.
-  Tensor flat = gemm_fused(weight_, cached_cols_, false, false,
-                           runtime::Epilogue::kBiasRow, bias_);
+  Tensor& flat = slot(0, {out_channels_, cached_cols_.dim(1)});
+  gemm_fused_into(flat, weight_, cached_cols_, false, false,
+                  runtime::Epilogue::kBiasRow, bias_);
   return pack_output(flat, cached_batch_);
 }
 
-Tensor Conv2d::backward(const Tensor& grad_output) {
+const Tensor& Conv2d::backward(const Tensor& grad_output) {
   GOLDFISH_CHECK(!cached_cols_.empty(), "backward before forward");
-  const Tensor g = unpack_grad(grad_output);  // (outC, N·oh·ow)
+  const Tensor& g = unpack_grad(grad_output);  // (outC, N·oh·ow)
   gemm_acc(grad_weight_, g, cached_cols_, false, true);
   const long cols = g.dim(1);
   for (long c = 0; c < out_channels_; ++c) {
@@ -71,8 +72,12 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     for (long j = 0; j < cols; ++j) acc += row[j];
     grad_bias_[std::size_t(c)] += static_cast<float>(acc);
   }
-  const Tensor grad_cols = gemm(weight_, g, true, false);  // (patch, N·oh·ow)
-  return col2im(grad_cols, cached_batch_, geom_);
+  Tensor& grad_cols = slot(3, {geom_.patch_size(), cols});
+  gemm_into(grad_cols, weight_, g, true, false);  // (patch, N·oh·ow)
+  Tensor& gin = slot(4, {cached_batch_, geom_.in_channels, geom_.in_h,
+                         geom_.in_w});
+  col2im_into(grad_cols, cached_batch_, geom_, gin);
+  return gin;
 }
 
 std::vector<ParamRef> Conv2d::params() {

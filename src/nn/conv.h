@@ -14,11 +14,13 @@ class Conv2d final : public Layer {
   Conv2d(long in_channels, long out_channels, long kernel, long stride,
          long pad, long in_h, long in_w, Rng& rng);
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& x, bool train) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
   std::string name() const override;
+  // flat product, packed output, unpacked grad, grad_cols, input grad
+  std::size_t local_slots() const override { return 5; }
 
   long out_channels() const { return out_channels_; }
   long out_h() const { return geom_.out_h(); }
@@ -33,10 +35,11 @@ class Conv2d final : public Layer {
   Tensor cached_cols_;  // im2col of the last input
   long cached_batch_ = 0;
 
-  /// (outC, N·oh·ow) matmul output → (N, outC, oh, ow) image layout.
-  Tensor pack_output(const Tensor& flat, long batch) const;
-  /// Inverse of pack_output for the incoming gradient.
-  Tensor unpack_grad(const Tensor& grad_img) const;
+  /// (outC, N·oh·ow) matmul output → (N, outC, oh, ow) image layout, into
+  /// the layer's output slot.
+  Tensor& pack_output(const Tensor& flat, long batch);
+  /// Inverse of pack_output for the incoming gradient, into a slot.
+  Tensor& unpack_grad(const Tensor& grad_img);
 };
 
 }  // namespace goldfish::nn

@@ -6,12 +6,21 @@
 // unit-testable in isolation against finite differences (see
 // tests/nn_gradcheck_test.cpp), which is how we guarantee the substrate the
 // unlearning results rest on is numerically correct.
+//
+// Outputs live in a Workspace (see workspace.h): forward/backward return
+// `const Tensor&` views of arena slots the layer claimed at attach time, so
+// steady-state passes allocate nothing and skip even the zero-fill (the
+// slots are reused uninitialized, Tensor::uninit-style). A layer that was
+// never attached to a model-owned workspace lazily creates a private one, so
+// standalone layers in tests behave identically. A returned reference stays
+// valid until the same layer runs the same pass again.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "nn/workspace.h"
 #include "tensor/tensor.h"
 
 namespace goldfish::nn {
@@ -30,27 +39,65 @@ class Layer {
 
   /// Forward pass. `train` toggles training-only behaviour (batch-norm
   /// statistics). Implementations cache activations needed by backward.
-  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  /// The result references a workspace slot owned by this layer (or, for
+  /// pure pass-throughs, the input itself) and is overwritten by the
+  /// layer's next forward.
+  virtual const Tensor& forward(const Tensor& x, bool train) = 0;
 
   /// Backward pass: input is ∂L/∂output, returns ∂L/∂input, and *adds*
   /// parameter gradients into the layer's accumulators (so multiple loss
-  /// terms can be backpropagated before one optimizer step).
-  virtual Tensor backward(const Tensor& grad_output) = 0;
+  /// terms can be backpropagated before one optimizer step). The result
+  /// references a workspace slot, clobbered by the layer's next backward.
+  virtual const Tensor& backward(const Tensor& grad_output) = 0;
 
   /// Parameters and their gradient accumulators, if any.
   virtual std::vector<ParamRef> params() { return {}; }
 
   /// Deep copy, including parameter values (running stats too) but with
-  /// freshly zeroed gradients. Needed to spawn teacher/student and per-shard
-  /// model replicas.
+  /// freshly zeroed gradients and no workspace binding (the owning Model
+  /// re-attaches). Needed to spawn teacher/student and per-shard replicas.
   virtual std::unique_ptr<Layer> clone() const = 0;
 
   /// Short diagnostic name ("linear(400->120)").
   virtual std::string name() const = 0;
 
+  /// Bind this layer (and any children) to `ws`, claiming `local_slots()`
+  /// consecutive slot keys starting at `next_key`. Containers override to
+  /// recurse. Re-attaching the same structure reassigns the same keys, so
+  /// existing slot storage stays valid.
+  virtual void attach_workspace(Workspace* ws, std::size_t& next_key) {
+    ws_ = ws;
+    key_ = next_key;
+    next_key += local_slots();
+  }
+
+  /// Number of workspace slots the layer itself writes (outputs, masks,
+  /// scratch). Containers with no tensors of their own return 0.
+  virtual std::size_t local_slots() const { return 0; }
+
   Layer() = default;
-  Layer(const Layer&) = default;
-  Layer& operator=(const Layer&) = default;
+  // Copies never inherit a workspace binding: a clone belongs to a new
+  // model (or none) and is re-attached by its owner.
+  Layer(const Layer&) noexcept {}
+  Layer& operator=(const Layer&) noexcept { return *this; }
+
+ protected:
+  /// Slot `i` of this layer's local_slots(), shaped `shape` (contents per
+  /// the Workspace contract). Unbound layers use a lazily created private
+  /// workspace.
+  Tensor& slot(std::size_t i, const Shape& shape) {
+    if (ws_ != nullptr) return ws_->acquire(key_ + i, shape);
+    if (own_ws_ == nullptr) {
+      own_ws_ = std::make_unique<Workspace>();
+      own_ws_->ensure(local_slots());
+    }
+    return own_ws_->acquire(i, shape);
+  }
+
+ private:
+  Workspace* ws_ = nullptr;   // model-owned arena, null when standalone
+  std::size_t key_ = 0;       // first slot key claimed by this layer
+  std::unique_ptr<Workspace> own_ws_;  // fallback for unbound layers
 };
 
 }  // namespace goldfish::nn

@@ -18,34 +18,35 @@ Linear::Linear(long in_features, long out_features, Rng& rng)
   GOLDFISH_CHECK(in_features > 0 && out_features > 0, "bad linear dims");
 }
 
-Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+const Tensor& Linear::forward(const Tensor& x, bool /*train*/) {
   GOLDFISH_CHECK(x.rank() == 2 && x.dim(1) == in_,
                  "linear input shape " + x.shape_str());
-  cached_input_ = x;
+  cached_input_ = x;  // member copy: capacity reused across steps
   // Bias (and the peepholed ReLU) ride the GEMM writeback — no extra pass.
-  Tensor y = gemm_fused(x, weight_, false, true,
-                        fuse_relu_ ? runtime::Epilogue::kBiasColRelu
-                                   : runtime::Epilogue::kBiasCol,
-                        bias_);  // (N, out)
+  Tensor& y = slot(0, {x.dim(0), out_});
+  gemm_fused_into(y, x, weight_, false, true,
+                  fuse_relu_ ? runtime::Epilogue::kBiasColRelu
+                             : runtime::Epilogue::kBiasCol,
+                  bias_);  // (N, out)
   if (fuse_relu_) cached_output_ = y;
   return y;
 }
 
-Tensor Linear::backward(const Tensor& grad_output) {
+const Tensor& Linear::backward(const Tensor& grad_output) {
   GOLDFISH_CHECK(grad_output.rank() == 2 && grad_output.dim(1) == out_,
                  "linear grad shape");
   GOLDFISH_CHECK(!cached_input_.empty(), "backward before forward");
-  Tensor masked;  // materialized only when the folded ReLU needs masking
   const Tensor* grad = &grad_output;
   if (fuse_relu_) {
     // The folded ReLU's mask: post-activation > 0 ⟺ pre-activation > 0.
     GOLDFISH_CHECK(grad_output.same_shape(cached_output_),
                    "fused relu grad shape");
-    masked = grad_output;
-    float* gd = masked.data();
+    Tensor& masked = slot(1, grad_output.shape());
+    const float* gd_in = grad_output.data();
     const float* yd = cached_output_.data();
+    float* gd = masked.data();
     for (std::size_t i = 0; i < masked.numel(); ++i)
-      gd[i] *= yd[i] > 0.0f ? 1.0f : 0.0f;  // bit-identical to ReLU::backward
+      gd[i] = gd_in[i] * (yd[i] > 0.0f ? 1.0f : 0.0f);  // = ReLU::backward
     grad = &masked;
   }
   // dW = gradᵀ · x (accumulated in place) ; db = column sums ; dx = grad · W
@@ -54,7 +55,9 @@ Tensor Linear::backward(const Tensor& grad_output) {
   for (long i = 0; i < n; ++i)
     for (long j = 0; j < out_; ++j)
       grad_bias_[std::size_t(j)] += grad->at(i, j);
-  return gemm(*grad, weight_, false, false);
+  Tensor& dx = slot(2, {n, in_});
+  gemm_into(dx, *grad, weight_, false, false);
+  return dx;
 }
 
 std::vector<ParamRef> Linear::params() {

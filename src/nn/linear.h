@@ -10,11 +10,12 @@ class Linear final : public Layer {
   /// He-initialized weights (suits the ReLU networks all paper models use).
   Linear(long in_features, long out_features, Rng& rng);
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& x, bool train) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
   std::string name() const override;
+  std::size_t local_slots() const override { return 3; }  // y, masked g, dx
 
   long in_features() const { return in_; }
   long out_features() const { return out_; }

@@ -1,10 +1,12 @@
 // Model: the unit the FL and unlearning layers operate on.
 //
-// A Model owns a root layer (usually Sequential) plus metadata, and exposes
-// the whole-model operations the paper's algorithms need: parameter
-// snapshot/restore (ω in Algorithm 1), gradient reset, cloning (teacher ←
-// global model), and parameter-space arithmetic used by shard aggregation
-// (Eq. 8–10) and server aggregation (Eq. 13).
+// A Model owns a root layer (usually Sequential) plus metadata and the
+// Workspace arena all of its layers write activations into, and exposes the
+// whole-model operations the paper's algorithms need: parameter
+// snapshot/restore (ω in Algorithm 1), in-place parameter copy (the
+// broadcast primitive of the pooled FL round), gradient reset, cloning
+// (teacher ← global model), and parameter-space arithmetic used by shard
+// aggregation (Eq. 8–10) and server aggregation (Eq. 13).
 #pragma once
 
 #include <memory>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "nn/workspace.h"
 
 namespace goldfish::nn {
 
@@ -22,6 +25,8 @@ class Model {
 
   Model(const Model& other);
   Model& operator=(const Model& other);
+  // The Workspace lives behind a unique_ptr, so moves keep every layer's
+  // binding valid without re-attaching.
   Model(Model&&) = default;
   Model& operator=(Model&&) = default;
 
@@ -29,13 +34,15 @@ class Model {
   const std::string& arch_name() const { return arch_name_; }
   long num_classes() const { return num_classes_; }
 
-  /// Forward pass producing logits (N, num_classes).
-  Tensor forward(const Tensor& x, bool train = true) {
+  /// Forward pass producing logits (N, num_classes). The result references
+  /// a workspace slot: valid until this model's next forward.
+  const Tensor& forward(const Tensor& x, bool train = true) {
     return root_->forward(x, train);
   }
 
-  /// Backpropagate a logit gradient; accumulates parameter gradients.
-  Tensor backward(const Tensor& grad_logits) {
+  /// Backpropagate a logit gradient; accumulates parameter gradients. The
+  /// result references a workspace slot: valid until the next backward.
+  const Tensor& backward(const Tensor& grad_logits) {
     return root_->backward(grad_logits);
   }
 
@@ -55,10 +62,19 @@ class Model {
   /// Restore parameter values from a snapshot of matching structure.
   void load(const std::vector<Tensor>& values);
 
+  /// In-place broadcast: copy `other`'s parameter values (running stats
+  /// included) into this model's existing storage and zero the gradient
+  /// accumulators — the allocation-free equivalent of `*this = other` for
+  /// structurally identical models (the FL client pool's per-round reset).
+  void copy_from(const Model& other);
+
  private:
   std::string arch_name_;
   std::unique_ptr<Layer> root_;
   long num_classes_ = 0;
+  std::unique_ptr<Workspace> ws_;  // activation arena shared by all layers
+
+  void attach();  // (re)bind root_ and children to ws_
 };
 
 // -- parameter-space arithmetic over snapshots -----------------------------

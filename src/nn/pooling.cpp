@@ -9,14 +9,14 @@ MaxPool2d::MaxPool2d(long kernel, long stride)
   GOLDFISH_CHECK(kernel > 0 && stride > 0, "bad pool dims");
 }
 
-Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+const Tensor& MaxPool2d::forward(const Tensor& x, bool /*train*/) {
   GOLDFISH_CHECK(x.rank() == 4, "pool expects (N,C,H,W)");
   in_shape_ = x.shape();
   const long N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
   const long oh = (H - kernel_) / stride_ + 1;
   const long ow = (W - kernel_) / stride_ + 1;
   GOLDFISH_CHECK(oh > 0 && ow > 0, "pool output collapses to zero");
-  Tensor out({N, C, oh, ow});
+  Tensor& out = slot(0, {N, C, oh, ow});
   argmax_.assign(out.numel(), 0);
   std::size_t oi = 0;
   for (long n = 0; n < N; ++n) {
@@ -46,10 +46,11 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
   return out;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_output) {
+const Tensor& MaxPool2d::backward(const Tensor& grad_output) {
   GOLDFISH_CHECK(grad_output.numel() == argmax_.size(),
                  "pool grad size mismatch");
-  Tensor gin(in_shape_);
+  Tensor& gin = slot(1, in_shape_);
+  gin.zero();  // scatter-add target: only argmax positions receive writes
   for (std::size_t i = 0; i < argmax_.size(); ++i)
     gin[argmax_[i]] += grad_output[i];
   return gin;
@@ -67,11 +68,11 @@ std::string MaxPool2d::name() const {
   return os.str();
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
+const Tensor& GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
   GOLDFISH_CHECK(x.rank() == 4, "gap expects (N,C,H,W)");
   in_shape_ = x.shape();
   const long N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
-  Tensor out({N, C});
+  Tensor& out = slot(0, {N, C});
   const float inv = 1.0f / static_cast<float>(H * W);
   for (long n = 0; n < N; ++n) {
     for (long c = 0; c < C; ++c) {
@@ -84,13 +85,13 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
   return out;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+const Tensor& GlobalAvgPool::backward(const Tensor& grad_output) {
   const long N = in_shape_[0], C = in_shape_[1], H = in_shape_[2],
              W = in_shape_[3];
   GOLDFISH_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == N &&
                      grad_output.dim(1) == C,
                  "gap grad shape");
-  Tensor gin(in_shape_);
+  Tensor& gin = slot(1, in_shape_);
   const float inv = 1.0f / static_cast<float>(H * W);
   for (long n = 0; n < N; ++n)
     for (long c = 0; c < C; ++c) {

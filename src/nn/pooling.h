@@ -10,10 +10,11 @@ class MaxPool2d final : public Layer {
  public:
   MaxPool2d(long kernel, long stride);
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& x, bool train) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::unique_ptr<Layer> clone() const override;
   std::string name() const override;
+  std::size_t local_slots() const override { return 2; }  // out, dx
 
  private:
   long kernel_ = 2, stride_ = 2;
@@ -24,10 +25,11 @@ class MaxPool2d final : public Layer {
 /// Global average pooling: (N,C,H,W) → (N,C). Used by the ResNet heads.
 class GlobalAvgPool final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& x, bool train) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "gap"; }
+  std::size_t local_slots() const override { return 2; }  // out, dx
 
  private:
   Shape in_shape_;

@@ -27,6 +27,11 @@ void Sequential::add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
 }
 
+void Sequential::attach_workspace(Workspace* ws, std::size_t& next_key) {
+  Layer::attach_workspace(ws, next_key);  // claims 0 slots for the container
+  for (auto& l : layers_) l->attach_workspace(ws, next_key);
+}
+
 // Peephole: a Linear directly followed by a ReLU runs as one fused GEMM
 // (bias + ReLU in the writeback); the standalone ReLU layer is skipped in
 // both passes and the Linear applies the mask in its own backward. Results
@@ -37,31 +42,31 @@ bool Sequential::fused_pair_at(std::size_t i) const {
          dynamic_cast<const ReLU*>(layers_[i + 1].get()) != nullptr;
 }
 
-Tensor Sequential::forward(const Tensor& x, bool train) {
-  Tensor h = x;
+const Tensor& Sequential::forward(const Tensor& x, bool train) {
+  const Tensor* h = &x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     if (auto* lin = dynamic_cast<Linear*>(layers_[i].get())) {
       const bool fuse = fused_pair_at(i);
       lin->set_fuse_relu(fuse);
-      h = lin->forward(h, train);
+      h = &lin->forward(*h, train);
       if (fuse) ++i;  // the ReLU ran inside the GEMM writeback
     } else {
-      h = layers_[i]->forward(h, train);
+      h = &layers_[i]->forward(*h, train);
     }
   }
-  return h;
+  return *h;
 }
 
-Tensor Sequential::backward(const Tensor& grad_output) {
-  Tensor g = grad_output;
+const Tensor& Sequential::backward(const Tensor& grad_output) {
+  const Tensor* g = &grad_output;
   for (std::size_t i = layers_.size(); i-- > 0;) {
     if (i > 0 && fused_pair_at(i - 1) &&
         static_cast<const Linear*>(layers_[i - 1].get())->fuse_relu()) {
       --i;  // skip the folded ReLU; the Linear applies its mask
     }
-    g = layers_[i]->backward(g);
+    g = &layers_[i]->backward(*g);
   }
-  return g;
+  return *g;
 }
 
 std::vector<ParamRef> Sequential::params() {
@@ -138,23 +143,39 @@ ResidualBlock& ResidualBlock::operator=(const ResidualBlock& other) {
   return *this;
 }
 
-Tensor ResidualBlock::forward(const Tensor& x, bool train) {
-  Tensor main = conv1_->forward(x, train);
-  main = bn1_->forward(main, train);
-  main = relu1_->forward(main, train);
-  main = conv2_->forward(main, train);
-  main = bn2_->forward(main, train);
-
-  Tensor shortcut = x;
+void ResidualBlock::attach_workspace(Workspace* ws, std::size_t& next_key) {
+  Layer::attach_workspace(ws, next_key);  // claims the block's own 2 slots
+  conv1_->attach_workspace(ws, next_key);
+  bn1_->attach_workspace(ws, next_key);
+  relu1_->attach_workspace(ws, next_key);
+  conv2_->attach_workspace(ws, next_key);
+  bn2_->attach_workspace(ws, next_key);
   if (has_projection_) {
-    shortcut = short_conv_->forward(x, train);
-    shortcut = short_bn_->forward(shortcut, train);
+    short_conv_->attach_workspace(ws, next_key);
+    short_bn_->attach_workspace(ws, next_key);
   }
-  main += shortcut;
+}
+
+const Tensor& ResidualBlock::forward(const Tensor& x, bool train) {
+  // The main branch lands in bn2_'s output slot; the block owns its
+  // sublayers, so finishing the residual sum + ReLU in that slot is safe
+  // (bn2_'s backward never reads its own output).
+  Tensor& main = const_cast<Tensor&>(bn2_->forward(
+      conv2_->forward(relu1_->forward(bn1_->forward(conv1_->forward(x, train),
+                                                    train),
+                                      train),
+                      train),
+      train));
+
+  const Tensor* shortcut = &x;
+  if (has_projection_)
+    shortcut = &short_bn_->forward(short_conv_->forward(x, train), train);
+  main += *shortcut;
 
   // Final ReLU done inline so we can keep its mask for backward.
-  sum_mask_ = Tensor(main.shape());
-  float* md = sum_mask_.data();
+  out_shape_ = main.shape();
+  Tensor& mask = slot(0, out_shape_);
+  float* md = mask.data();
   float* yd = main.data();
   for (std::size_t i = 0; i < main.numel(); ++i) {
     if (yd[i] > 0.0f) {
@@ -167,27 +188,26 @@ Tensor ResidualBlock::forward(const Tensor& x, bool train) {
   return main;
 }
 
-Tensor ResidualBlock::backward(const Tensor& grad_output) {
-  GOLDFISH_CHECK(grad_output.same_shape(sum_mask_), "residual grad shape");
-  Tensor g = grad_output;
+const Tensor& ResidualBlock::backward(const Tensor& grad_output) {
+  GOLDFISH_CHECK(grad_output.shape() == out_shape_, "residual grad shape");
+  const Tensor& mask = slot(0, out_shape_);  // same shape: contents intact
+  Tensor& g = slot(1, out_shape_);
   {
+    const float* gd_in = grad_output.data();
+    const float* md = mask.data();
     float* gd = g.data();
-    const float* md = sum_mask_.data();
-    for (std::size_t i = 0; i < g.numel(); ++i) gd[i] *= md[i];
+    for (std::size_t i = 0; i < g.numel(); ++i) gd[i] = gd_in[i] * md[i];
   }
-  // Branch gradients: the post-add gradient flows into both paths.
-  Tensor g_main = bn2_->backward(g);
-  g_main = conv2_->backward(g_main);
-  g_main = relu1_->backward(g_main);
-  g_main = bn1_->backward(g_main);
-  g_main = conv1_->backward(g_main);
+  // Branch gradients: the post-add gradient flows into both paths. The main
+  // chain's result is conv1_'s input-gradient slot — block-owned, so the
+  // shortcut gradient is summed into it in place.
+  Tensor& g_main = const_cast<Tensor&>(conv1_->backward(bn1_->backward(
+      relu1_->backward(conv2_->backward(bn2_->backward(g))))));
 
-  Tensor g_short = g;
-  if (has_projection_) {
-    g_short = short_bn_->backward(g_short);
-    g_short = short_conv_->backward(g_short);
-  }
-  g_main += g_short;
+  const Tensor* g_short = &g;
+  if (has_projection_)
+    g_short = &short_conv_->backward(short_bn_->backward(g));
+  g_main += *g_short;
   return g_main;
 }
 

@@ -24,11 +24,12 @@ class Sequential final : public Layer {
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& x, bool train) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
   std::string name() const override;
+  void attach_workspace(Workspace* ws, std::size_t& next_key) override;
 
  private:
   /// True when layers_[i] is a Linear immediately followed by a ReLU — the
@@ -50,16 +51,18 @@ class ResidualBlock final : public Layer {
   ResidualBlock(const ResidualBlock& other);
   ResidualBlock& operator=(const ResidualBlock& other);
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& x, bool train) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
   std::string name() const override;
+  void attach_workspace(Workspace* ws, std::size_t& next_key) override;
+  std::size_t local_slots() const override { return 2; }  // mask, masked g
 
  private:
   std::unique_ptr<Layer> conv1_, bn1_, relu1_, conv2_, bn2_;
   std::unique_ptr<Layer> short_conv_, short_bn_;  // null for identity
-  Tensor sum_mask_;  // relu mask of the post-add activation
+  Shape out_shape_;  // shape of the last forward's output / relu mask
   bool has_projection_ = false;
 };
 

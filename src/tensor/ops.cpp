@@ -37,22 +37,29 @@ void gemm_acc(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
                  b.dim(1), c.data(), n);
 }
 
-Tensor gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+void gemm_into(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+               bool trans_b) {
   check_2d(a, "gemm");
   check_2d(b, "gemm");
   const auto [m, k] = op_dims(a, trans_a);
   const auto [kb, n] = op_dims(b, trans_b);
   GOLDFISH_CHECK(kb == k, "gemm inner dims: " + a.shape_str() + " · " +
                               b.shape_str());
-  Tensor c = Tensor::uninit({m, n});  // beta=0 overwrites every element
+  c.resize_uninit({m, n});  // beta=0 overwrites every element
   runtime::sgemm(trans_a, trans_b, m, n, k, a.data(), a.dim(1), b.data(),
                  b.dim(1), c.data(), n, /*beta=*/0.0f, runtime::Epilogue::kNone,
                  nullptr);
+}
+
+Tensor gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  Tensor c;
+  gemm_into(c, a, b, trans_a, trans_b);
   return c;
 }
 
-Tensor gemm_fused(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
-                  runtime::Epilogue epilogue, const Tensor& bias) {
+void gemm_fused_into(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+                     bool trans_b, runtime::Epilogue epilogue,
+                     const Tensor& bias) {
   check_2d(a, "gemm_fused");
   check_2d(b, "gemm_fused");
   GOLDFISH_CHECK(epilogue != runtime::Epilogue::kNone,
@@ -67,9 +74,15 @@ Tensor gemm_fused(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
   const long want = per_col ? n : m;
   GOLDFISH_CHECK(bias.rank() == 1 && bias.dim(0) == want,
                  "gemm_fused bias shape " + bias.shape_str());
-  Tensor c = Tensor::uninit({m, n});
+  c.resize_uninit({m, n});
   runtime::sgemm(trans_a, trans_b, m, n, k, a.data(), a.dim(1), b.data(),
                  b.dim(1), c.data(), n, /*beta=*/0.0f, epilogue, bias.data());
+}
+
+Tensor gemm_fused(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                  runtime::Epilogue epilogue, const Tensor& bias) {
+  Tensor c;
+  gemm_fused_into(c, a, b, trans_a, trans_b, epilogue, bias);
   return c;
 }
 
@@ -191,7 +204,7 @@ Tensor hadamard(Tensor lhs, const Tensor& rhs) {
   return lhs;
 }
 
-Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
+void im2col_into(const Tensor& input, const Conv2dGeom& g, Tensor& cols) {
   GOLDFISH_CHECK(input.rank() == 4, "im2col expects (N,C,H,W)");
   GOLDFISH_CHECK(input.dim(1) == g.in_channels && input.dim(2) == g.in_h &&
                      input.dim(3) == g.in_w,
@@ -199,7 +212,7 @@ Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
   const long N = input.dim(0);
   const long oh = g.out_h(), ow = g.out_w();
   const long patch = g.patch_size();
-  Tensor cols({patch, N * oh * ow});
+  cols.resize_uninit({patch, N * oh * ow});  // every element written below
   float* dst = cols.data();
   const long col_stride = N * oh * ow;
   // Samples write disjoint column ranges → parallel over the batch.
@@ -225,16 +238,23 @@ Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
     }
   }
   }, /*grain=*/1);
+}
+
+Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
+  Tensor cols;
+  im2col_into(input, g, cols);
   return cols;
 }
 
-Tensor col2im(const Tensor& cols, long batch, const Conv2dGeom& g) {
+void col2im_into(const Tensor& cols, long batch, const Conv2dGeom& g,
+                 Tensor& img) {
   GOLDFISH_CHECK(cols.rank() == 2, "col2im expects a 2-D tensor");
   const long oh = g.out_h(), ow = g.out_w();
   const long patch = g.patch_size();
   GOLDFISH_CHECK(cols.dim(0) == patch && cols.dim(1) == batch * oh * ow,
                  "col2im geometry mismatch");
-  Tensor img({batch, g.in_channels, g.in_h, g.in_w});
+  img.resize_uninit({batch, g.in_channels, g.in_h, g.in_w});
+  img.zero();  // padding positions receive no scatter writes
   const float* src = cols.data();
   const long col_stride = batch * oh * ow;
   // Samples scatter into disjoint image slices → parallel over the batch.
@@ -259,6 +279,11 @@ Tensor col2im(const Tensor& cols, long batch, const Conv2dGeom& g) {
     }
   }
   }, /*grain=*/1);
+}
+
+Tensor col2im(const Tensor& cols, long batch, const Conv2dGeom& g) {
+  Tensor img;
+  col2im_into(cols, batch, g, img);
   return img;
 }
 

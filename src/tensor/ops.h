@@ -36,6 +36,17 @@ Tensor gemm_fused(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
 void gemm_acc(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
               bool trans_b);
 
+/// gemm() writing into caller-owned storage: `c` is resized in place
+/// (resize_uninit — no reallocation once warm) and fully overwritten
+/// (beta=0). The zero-allocation twin used by workspace-backed layers.
+void gemm_into(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+               bool trans_b);
+
+/// gemm_fused() writing into caller-owned storage (see gemm_into).
+void gemm_fused_into(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+                     bool trans_b, runtime::Epilogue epilogue,
+                     const Tensor& bias);
+
 /// C = A(m×k) · B(k×n). Thin wrapper over gemm(a, b, false, false).
 Tensor matmul(const Tensor& a, const Tensor& b);
 
@@ -97,8 +108,17 @@ struct Conv2dGeom {
 /// (C·K·K, N·outH·outW) so convolution becomes one matmul.
 Tensor im2col(const Tensor& input, const Conv2dGeom& g);
 
+/// im2col writing into caller-owned storage (resized in place, every
+/// element written including the zero padding — no upfront fill needed).
+void im2col_into(const Tensor& input, const Conv2dGeom& g, Tensor& cols);
+
 /// Adjoint of im2col: scatter a (C·K·K, N·outH·outW) matrix of patch
 /// gradients back to an image-shaped (N,C,H,W) gradient.
 Tensor col2im(const Tensor& cols, long batch, const Conv2dGeom& g);
+
+/// col2im writing into caller-owned storage (resized in place and zeroed
+/// before the scatter-add, since padding positions receive no writes).
+void col2im_into(const Tensor& cols, long batch, const Conv2dGeom& g,
+                 Tensor& img);
 
 }  // namespace goldfish

@@ -1,8 +1,8 @@
 #include "tensor/serialize.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
-#include <sstream>
 
 #include "tensor/check.h"
 
@@ -79,19 +79,86 @@ std::vector<Tensor> load_tensors(const std::string& path) {
   return ts;
 }
 
-std::vector<Tensor> roundtrip_through_bytes(const std::vector<Tensor>& ts,
-                                            std::size_t* bytes_on_wire) {
-  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
-  write_u32(ss, static_cast<std::uint32_t>(ts.size()));
-  for (const Tensor& t : ts) write_tensor(ss, t);
-  const std::string buf = ss.str();
-  if (bytes_on_wire != nullptr) *bytes_on_wire = buf.size();
-  std::stringstream in(buf, std::ios::in | std::ios::binary);
-  const std::uint32_t n = read_u32(in);
+namespace {
+
+/// Bounded little-endian reader over a raw byte buffer: the deserialization
+/// twin of the append-based serializer, with the same truncation checks the
+/// stream path enforces.
+struct ByteReader {
+  const char* p;
+  std::size_t left;
+
+  template <typename T>
+  T take() {
+    GOLDFISH_CHECK(left >= sizeof(T), "truncated tensor stream");
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    left -= sizeof(T);
+    return v;
+  }
+};
+
+template <typename T>
+void append(std::string& out, T v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+}  // namespace
+
+void serialize_tensors(const std::vector<Tensor>& ts, std::string& out) {
+  out.clear();
+  std::size_t total = sizeof(std::uint32_t);
+  for (const Tensor& t : ts)
+    total += 2 * sizeof(std::uint32_t) + t.rank() * sizeof(std::int64_t) +
+             t.numel() * sizeof(float);
+  out.reserve(total);
+  append(out, static_cast<std::uint32_t>(ts.size()));
+  for (const Tensor& t : ts) {
+    append(out, kMagic);
+    append(out, static_cast<std::uint32_t>(t.rank()));
+    for (std::size_t i = 0; i < t.rank(); ++i)
+      append(out, static_cast<std::int64_t>(t.dim(i)));
+    if (t.numel() != 0)
+      out.append(reinterpret_cast<const char*>(t.data()),
+                 t.numel() * sizeof(float));
+  }
+}
+
+std::vector<Tensor> deserialize_tensors(const char* data, std::size_t size) {
+  ByteReader r{data, size};
+  const std::uint32_t n = r.take<std::uint32_t>();
+  GOLDFISH_CHECK(n < (1u << 20), "implausible tensor count");
   std::vector<Tensor> out;
   out.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) out.push_back(read_tensor(in));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    GOLDFISH_CHECK(r.take<std::uint32_t>() == kMagic, "bad tensor magic");
+    const std::uint32_t rank = r.take<std::uint32_t>();
+    GOLDFISH_CHECK(rank <= 8, "implausible tensor rank");
+    Shape shape(rank);
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      shape[d] = static_cast<long>(r.take<std::int64_t>());
+      GOLDFISH_CHECK(shape[d] >= 0 && shape[d] < (1L << 32), "bad dim");
+    }
+    Tensor t = Tensor::uninit(std::move(shape));
+    const std::size_t payload = t.numel() * sizeof(float);
+    GOLDFISH_CHECK(r.left >= payload, "truncated tensor payload");
+    if (payload != 0) std::memcpy(t.data(), r.p, payload);
+    r.p += payload;
+    r.left -= payload;
+    out.push_back(std::move(t));
+  }
   return out;
+}
+
+std::vector<Tensor> roundtrip_through_bytes(const std::vector<Tensor>& ts,
+                                            std::size_t* bytes_on_wire) {
+  // One wire buffer per worker thread: client uploads are encoded inside
+  // scheduler tasks, and the buffer's capacity is reused round after round.
+  static thread_local std::string wire;
+  serialize_tensors(ts, wire);
+  if (bytes_on_wire != nullptr) *bytes_on_wire = wire.size();
+  return deserialize_tensors(wire.data(), wire.size());
 }
 
 }  // namespace goldfish

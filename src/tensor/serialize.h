@@ -25,8 +25,18 @@ void save_tensors(const std::string& path, const std::vector<Tensor>& ts);
 /// Read a parameter list back. Throws if the file is missing or malformed.
 std::vector<Tensor> load_tensors(const std::string& path);
 
+/// Serialize a parameter list into `out` (cleared first, capacity reused) in
+/// exactly the bytes save_tensors would write. The FL upload path keeps one
+/// such buffer per worker thread so steady-state rounds stop allocating.
+void serialize_tensors(const std::vector<Tensor>& ts, std::string& out);
+
+/// Parse a buffer produced by serialize_tensors / save_tensors. Throws on
+/// malformed or truncated input.
+std::vector<Tensor> deserialize_tensors(const char* data, std::size_t size);
+
 /// Round-trip through an in-memory buffer; used by the FL transport to model
 /// the serialize-upload-deserialize path clients take in a real deployment.
+/// The wire buffer is thread_local and reused across calls.
 std::vector<Tensor> roundtrip_through_bytes(const std::vector<Tensor>& ts,
                                             std::size_t* bytes_on_wire);
 

@@ -71,6 +71,16 @@ Tensor Tensor::from2d(
   return Tensor({r, c}, std::move(data));
 }
 
+void Tensor::resize_uninit(const Shape& shape) {
+  if (shape_ == shape) return;
+  const std::size_t n = shape_numel(shape);
+  // Dropping the old contents before a growing resize avoids the element
+  // copy a plain resize would do on reallocation.
+  if (n > data_.capacity()) data_.clear();
+  data_.resize(n);
+  shape_ = shape;
+}
+
 Tensor Tensor::reshaped(Shape new_shape) const {
   GOLDFISH_CHECK(shape_numel(new_shape) == numel(),
                  "reshape changes element count");

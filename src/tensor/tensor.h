@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/buffer_pool.h"
 #include "tensor/check.h"
 #include "tensor/rng.h"
 
@@ -30,6 +31,10 @@ namespace detail {
 /// value-initializing, so `resize` on a float vector allocates without the
 /// memset. Tensor::uninit relies on this; everything else passes an explicit
 /// fill value and is unaffected.
+///
+/// Float storage additionally routes through the recycling pool of
+/// tensor/buffer_pool.h, so inside a BufferPoolScope freed tensor storage is
+/// reused instead of churning the heap (the zero-allocation FL round path).
 template <class T>
 class DefaultInitAllocator : public std::allocator<T> {
  public:
@@ -40,6 +45,18 @@ class DefaultInitAllocator : public std::allocator<T> {
   struct rebind {
     using other = DefaultInitAllocator<U>;
   };
+  T* allocate(std::size_t n) {
+    if constexpr (std::is_same_v<T, float>)
+      return pool_allocate_float(n);
+    else
+      return std::allocator<T>::allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if constexpr (std::is_same_v<T, float>)
+      pool_deallocate_float(p, n);
+    else
+      std::allocator<T>::deallocate(p, n);
+  }
   template <class U>
   void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
     ::new (static_cast<void*>(p)) U;
@@ -100,6 +117,12 @@ class Tensor {
 
   /// Reinterpret with a new shape of identical element count.
   Tensor reshaped(Shape new_shape) const;
+
+  /// Reshape in place to `shape`, reallocating only when the element count
+  /// grows past the current capacity. Contents are preserved when the shape
+  /// is unchanged and undefined otherwise (like Tensor::uninit) — the
+  /// workspace-reuse primitive behind zero-allocation steady-state passes.
+  void resize_uninit(const Shape& shape);
 
   /// True if shapes are exactly equal.
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }

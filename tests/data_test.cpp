@@ -92,6 +92,50 @@ TEST(Dataset, BatchExtraction) {
   EXPECT_EQ(y[1], tt.train.labels[4]);
 }
 
+TEST(Dataset, BatchViewMatchesIndexedBatch) {
+  auto tt = data::make_synthetic(
+      data::default_spec(DatasetKind::Mnist, 7, 20, 5));
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 3; i < 11; ++i) idx.push_back(i);
+  auto [xg, yg] = tt.train.batch(idx);
+  auto [xv, yv] = tt.train.batch_view(3, 11);
+  ASSERT_TRUE(xg.same_shape(xv));
+  for (std::size_t i = 0; i < xg.numel(); ++i) EXPECT_EQ(xg[i], xv[i]);
+  for (std::size_t i = 0; i < yg.size(); ++i)
+    EXPECT_EQ(yg[i], yv[static_cast<long>(i)]);
+  EXPECT_THROW(tt.train.batch_view(5, 5), CheckError);
+  EXPECT_THROW(tt.train.batch_view(0, 21), CheckError);
+}
+
+TEST(Dataset, BatchIntoReusesStorage) {
+  auto tt = data::make_synthetic(
+      data::default_spec(DatasetKind::Mnist, 7, 12, 5));
+  Tensor x;
+  std::vector<long> y;
+  const std::size_t idx1[] = {0, 5, 7};
+  tt.train.batch_into(idx1, 3, x, y);
+  EXPECT_EQ(x.dim(0), 3);
+  const float* storage = x.data();
+  const std::size_t idx2[] = {1, 2};
+  tt.train.batch_into(idx2, 2, x, y);  // shrinks in place, same buffer
+  EXPECT_EQ(x.dim(0), 2);
+  EXPECT_EQ(x.data(), storage);
+  EXPECT_EQ(y[1], tt.train.labels[2]);
+}
+
+TEST(BatchIterator, BatchSpanMatchesBatchIndices) {
+  auto tt = data::make_synthetic(
+      data::default_spec(DatasetKind::Mnist, 8, 17, 5));
+  Rng rng(3);
+  data::BatchIterator it(tt.train, 4, rng);
+  for (std::size_t b = 0; b < it.num_batches(); ++b) {
+    const auto [ptr, count] = it.batch_span(b);
+    const auto idx = it.batch_indices(b);
+    ASSERT_EQ(count, idx.size());
+    for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(ptr[i], idx[i]);
+  }
+}
+
 TEST(BatchIterator, CoversEveryRowOnce) {
   auto tt = data::make_synthetic(data::default_spec(DatasetKind::Mnist, 8, 23, 5));
   Rng rng(1);

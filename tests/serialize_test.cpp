@@ -66,6 +66,45 @@ TEST(Serialize, MissingFileThrows) {
                CheckError);
 }
 
+TEST(Serialize, BufferPathMatchesStreamBytes) {
+  // serialize_tensors must emit exactly the bytes the stream writer does —
+  // the wire format is shared with save_tensors files.
+  Rng rng(9);
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::randn({3, 5}, rng));
+  ts.push_back(Tensor::randn({7}, rng));
+  ts.push_back(Tensor::zeros({0}));  // zero-row tensor on the wire
+
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  const std::uint32_t count = static_cast<std::uint32_t>(ts.size());
+  ss.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& t : ts) write_tensor(ss, t);
+
+  std::string buf;
+  serialize_tensors(ts, buf);
+  EXPECT_EQ(buf, ss.str());
+
+  const auto back = deserialize_tensors(buf.data(), buf.size());
+  ASSERT_EQ(back.size(), ts.size());
+  for (std::size_t t = 0; t < ts.size(); ++t) {
+    ASSERT_TRUE(back[t].same_shape(ts[t]));
+    for (std::size_t i = 0; i < ts[t].numel(); ++i)
+      EXPECT_EQ(back[t][i], ts[t][i]);
+  }
+}
+
+TEST(Serialize, DeserializeRejectsCorruptBuffers) {
+  Rng rng(10);
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::randn({4, 4}, rng));
+  std::string buf;
+  serialize_tensors(ts, buf);
+  EXPECT_THROW(deserialize_tensors(buf.data(), buf.size() - 5), CheckError);
+  std::string bad = buf;
+  bad[4] ^= 0x5A;  // corrupt the first tensor's magic
+  EXPECT_THROW(deserialize_tensors(bad.data(), bad.size()), CheckError);
+}
+
 TEST(Serialize, RoundtripThroughBytesCountsWire) {
   Rng rng(4);
   std::vector<Tensor> ts;
