@@ -74,6 +74,33 @@ void BM_FlRoundPooled(benchmark::State& state) {
 }
 BENCHMARK(BM_FlRoundPooled)->Unit(benchmark::kMillisecond);
 
+// Buffered-asynchronous rounds: K = 8 updates per aggregation (half the
+// federation — genuinely semi-asynchronous), log-normal virtual durations,
+// (1+s)^-0.5 staleness decay. items_per_second is *aggregations*/s; each
+// aggregation consumes K client updates, so the CI ratchet compares it to
+// the synchronous baseline's rounds/s (C updates each) with a K/C scale.
+void BM_FlRoundAsync(benchmark::State& state) {
+  Federation fed;
+  fl::FlConfig cfg;
+  cfg.async.buffer_size = kClients / 2;
+  fl::FederatedSim sim(fed.global, fed.parts, fed.test, cfg);
+  constexpr long kAggsPerIter = 4;
+  sim.run_async(kAggsPerIter);  // warm the pool, arenas and recycler
+  for (auto _ : state) {
+    const auto r = sim.run_async(kAggsPerIter);
+    benchmark::DoNotOptimize(r.back().global_accuracy);
+  }
+  state.SetItemsProcessed(state.iterations() * kAggsPerIter);
+  // Steady-state allocation gate for the async path (per aggregation).
+  if (alloc_stats::enabled()) {
+    const std::size_t before = alloc_stats::heap_allocations();
+    sim.run_async(kAggsPerIter);
+    state.counters["allocs_per_agg"] =
+        double(alloc_stats::heap_allocations() - before) / kAggsPerIter;
+  }
+}
+BENCHMARK(BM_FlRoundAsync)->Unit(benchmark::kMillisecond);
+
 // -- the pre-pool round, kept verbatim as the old-vs-new baseline ---------
 
 /// The old wire path: serialize → stringstream → deserialize, allocating
@@ -131,8 +158,9 @@ fl::RoundResult legacy_run_round(nn::Model& global,
   runtime::Scheduler::global().parallel_map(n, [&](std::size_t c) {
     nn::Model local = global;  // broadcast: deep copy of global weights
     fl::TrainOptions opts = cfg.local;
-    opts.seed = cfg.seed ^ (0x9E3779B9u * (c + 1)) ^
-                static_cast<std::uint64_t>(round);
+    // Same collision-free seed streams as the current sim, so old and new
+    // paths train identical batch orders and stay workload-comparable.
+    opts.seed = mix_seed(cfg.seed, c, static_cast<std::uint64_t>(round));
     fl::train_local(local, clients[c], opts);
     std::size_t wire = 0;
     updates[c].params = legacy_roundtrip(local.snapshot(), &wire);

@@ -14,7 +14,10 @@ BASELINE_JSON (bench/baseline_ci.json, checked in) holds:
   * "ratios": machine-independent gates, each {"fast": name, "slow": name,
     "min_ratio": r} requiring items_per_second(fast) >= r * (slow). This is
     how the fused-epilogue and pooled-round wins are locked in regardless of
-    runner speed.
+    runner speed. An optional "fast_scale" multiplies the fast side first,
+    normalizing benchmarks whose items differ in unit — e.g. the async FL
+    bench counts aggregations (K updates each) while the round benches count
+    rounds (C updates each), so fast_scale = K/C compares update throughput.
   * "counters_max": exact gates on reported benchmark counters, each
     {"bench": name, "counter": name, "max": v}. The zero-allocation round
     gate: bench_fl_round's allocs_per_round counter (FloatBuffer heap
@@ -75,9 +78,11 @@ def main() -> int:
             failures.append(
                 f"ratio {gate['fast']} / {gate['slow']}: missing benchmark")
             continue
-        ratio = fast / slow
+        scale = float(gate.get("fast_scale", 1.0))
+        ratio = fast * scale / slow
         ok = ratio >= want
-        print(f"{gate['fast']} / {gate['slow']}: {ratio:.2f}x"
+        scaled = "" if scale == 1.0 else f" (fast x{scale:g})"
+        print(f"{gate['fast']} / {gate['slow']}{scaled}: {ratio:.2f}x"
               f" (need >= {want:.2f}x) {'ok' if ok else 'FAIL'}")
         if not ok:
             failures.append(

@@ -22,28 +22,44 @@ GoldfishUnlearner::GoldfishUnlearner(nn::Model global, nn::Model fresh_init,
   removed_.resize(remaining_.size());
 }
 
+DeletionSplit split_deletion(const data::Dataset& local,
+                             const UnlearnRequest& req) {
+  std::vector<bool> is_removed(static_cast<std::size_t>(local.size()), false);
+  for (std::size_t r : req.rows) {
+    GOLDFISH_CHECK(r < static_cast<std::size_t>(local.size()),
+                   "deletion row out of range");
+    is_removed[r] = true;
+  }
+  std::vector<std::size_t> keep, drop;
+  for (std::size_t i = 0; i < is_removed.size(); ++i)
+    (is_removed[i] ? drop : keep).push_back(i);
+  GOLDFISH_CHECK(!keep.empty(), "client would have no remaining data");
+  return {local.subset(keep), local.subset(drop)};
+}
+
+AsyncDeletionPlan make_async_deletion(const fl::FederatedSim& sim,
+                                      const UnlearnRequest& req,
+                                      double vtime) {
+  GOLDFISH_CHECK(req.client_id < sim.num_clients(),
+                 "deletion request for unknown client");
+  DeletionSplit split = split_deletion(sim.client_data(req.client_id), req);
+  AsyncDeletionPlan plan;
+  plan.event.time = vtime;
+  plan.event.client = req.client_id;
+  plan.event.new_data = std::move(split.remaining);
+  plan.removed = std::move(split.removed);
+  return plan;
+}
+
 void GoldfishUnlearner::request_deletion(
     const std::vector<UnlearnRequest>& requests) {
   for (const UnlearnRequest& req : requests) {
     GOLDFISH_CHECK(req.client_id < remaining_.size(),
                    "deletion request for unknown client");
-    data::Dataset& local = remaining_[req.client_id];
-    std::vector<bool> is_removed(static_cast<std::size_t>(local.size()),
-                                 false);
-    for (std::size_t r : req.rows) {
-      GOLDFISH_CHECK(r < static_cast<std::size_t>(local.size()),
-                     "deletion row out of range");
-      is_removed[r] = true;
-    }
-    std::vector<std::size_t> keep, drop;
-    for (std::size_t i = 0; i < is_removed.size(); ++i)
-      (is_removed[i] ? drop : keep).push_back(i);
-    GOLDFISH_CHECK(!keep.empty(), "client would have no remaining data");
-    data::Dataset removed = local.subset(drop);
-    data::Dataset kept = local.subset(keep);
+    DeletionSplit split = split_deletion(remaining_[req.client_id], req);
     removed_[req.client_id] =
-        data::Dataset::concat(removed_[req.client_id], removed);
-    remaining_[req.client_id] = std::move(kept);
+        data::Dataset::concat(removed_[req.client_id], split.removed);
+    remaining_[req.client_id] = std::move(split.remaining);
   }
 }
 
@@ -74,8 +90,10 @@ UnlearnRoundResult GoldfishUnlearner::run_round() {
     nn::Model student = global_;
     nn::Model teacher = teacher_;
     DistillOptions opts = cfg_.distill;
-    opts.seed = cfg_.seed ^ (0xC0FFEEull * (c + 1)) ^
-                static_cast<std::uint64_t>(round_);
+    // Collision-free (client, round) stream separation; the old xor mix let
+    // distinct pairs reuse each other's RNG streams (see mix_seed).
+    opts.seed = mix_seed(cfg_.seed ^ 0xC0FFEEull, c,
+                         static_cast<std::uint64_t>(round_));
     const float ref = reference_loss_of(teacher, remaining_[c], opts);
     const DistillResult res = goldfish_distill(
         student, teacher, remaining_[c], removed_[c], ref, opts);
@@ -87,7 +105,7 @@ UnlearnRoundResult GoldfishUnlearner::run_round() {
     updates[c].dataset_size = remaining_[c].size();
   });
 
-  if (aggregator_->name() == "adaptive") {
+  if (aggregator_->needs_mse()) {
     sched_->parallel_map(n, [&](std::size_t c) {
       nn::Model scratch = global_;
       scratch.load(updates[c].params);

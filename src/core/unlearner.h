@@ -20,6 +20,31 @@ struct UnlearnRequest {
   std::vector<std::size_t> rows;
 };
 
+/// Split one client dataset into remaining / removed rows per a deletion
+/// request (`rows` index `local`). The shared splitter behind synchronous
+/// request_deletion and the asynchronous mid-buffer trigger below.
+struct DeletionSplit {
+  data::Dataset remaining;
+  data::Dataset removed;
+};
+DeletionSplit split_deletion(const data::Dataset& local,
+                             const UnlearnRequest& req);
+
+/// Build the buffered-asynchronous deletion trigger for a request against a
+/// running FederatedSim: the returned event, handed to
+/// FederatedSim::run_async, replaces the client's data with its remaining
+/// rows at virtual time `vtime` — evicting the client's buffered and
+/// in-flight updates, which trained on the deleted rows, before they can
+/// reach an aggregation. The removed rows (D_f) are returned for the
+/// distillation phase (GoldfishUnlearner) and auditing.
+struct AsyncDeletionPlan {
+  fl::AsyncDeletion event;
+  data::Dataset removed;
+};
+AsyncDeletionPlan make_async_deletion(const fl::FederatedSim& sim,
+                                      const UnlearnRequest& req,
+                                      double vtime);
+
 struct UnlearnConfig {
   DistillOptions distill;
   std::string aggregator = "adaptive";  ///< extension module default

@@ -6,29 +6,31 @@
 
 namespace goldfish::fl {
 
-std::vector<Tensor> FedAvgAggregator::aggregate(
+std::vector<Tensor> Aggregator::aggregate(
     const std::vector<ClientUpdate>& updates) const {
   GOLDFISH_CHECK(!updates.empty(), "no updates to aggregate");
-  std::vector<std::vector<Tensor>> snaps;
-  std::vector<float> weights;
+  // Snapshots are borrowed, not copied: the historical per-round clone of
+  // every client's full parameter set is gone.
+  std::vector<const std::vector<Tensor>*> snaps;
   snaps.reserve(updates.size());
-  weights.reserve(updates.size());
-  for (const ClientUpdate& u : updates) {
-    GOLDFISH_CHECK(u.dataset_size > 0, "client with empty dataset");
-    snaps.push_back(u.params);
-    weights.push_back(static_cast<float>(u.dataset_size));
-  }
-  return nn::weighted_average(snaps, weights);
+  for (const ClientUpdate& u : updates) snaps.push_back(&u.params);
+  return nn::weighted_average(snaps, weights(updates));
 }
 
-std::vector<Tensor> UniformAggregator::aggregate(
+std::vector<float> FedAvgAggregator::weights(
     const std::vector<ClientUpdate>& updates) const {
-  GOLDFISH_CHECK(!updates.empty(), "no updates to aggregate");
-  std::vector<std::vector<Tensor>> snaps;
-  snaps.reserve(updates.size());
-  for (const ClientUpdate& u : updates) snaps.push_back(u.params);
-  return nn::weighted_average(
-      snaps, std::vector<float>(updates.size(), 1.0f));
+  std::vector<float> w;
+  w.reserve(updates.size());
+  for (const ClientUpdate& u : updates) {
+    GOLDFISH_CHECK(u.dataset_size > 0, "client with empty dataset");
+    w.push_back(static_cast<float>(u.dataset_size));
+  }
+  return w;
+}
+
+std::vector<float> UniformAggregator::weights(
+    const std::vector<ClientUpdate>& updates) const {
+  return std::vector<float>(updates.size(), 1.0f);
 }
 
 std::vector<float> AdaptiveAggregator::weights_from_mse(
@@ -40,25 +42,45 @@ std::vector<float> AdaptiveAggregator::weights_from_mse(
     mean += m;
   }
   mean /= double(mses.size());
-  GOLDFISH_CHECK(mean > 0.0, "all-zero MSEs");
+  // Every client fits the server test set perfectly (MSE 0 across the
+  // board, e.g. on trivially separable synthetic data): Eq. 12 is undefined
+  // (0/0), and no client carries more information than another — uniform
+  // weights are the correct degenerate case, not a crash.
+  if (mean == 0.0) return std::vector<float>(mses.size(), 1.0f);
   std::vector<float> w(mses.size());
   for (std::size_t i = 0; i < mses.size(); ++i)
     w[i] = static_cast<float>(std::exp(-(mses[i] - mean) / mean));
   return w;
 }
 
-std::vector<Tensor> AdaptiveAggregator::aggregate(
+std::vector<float> AdaptiveAggregator::weights(
     const std::vector<ClientUpdate>& updates) const {
-  GOLDFISH_CHECK(!updates.empty(), "no updates to aggregate");
   std::vector<double> mses;
-  std::vector<std::vector<Tensor>> snaps;
   mses.reserve(updates.size());
-  snaps.reserve(updates.size());
-  for (const ClientUpdate& u : updates) {
-    mses.push_back(u.mse);
-    snaps.push_back(u.params);
-  }
-  return nn::weighted_average(snaps, weights_from_mse(mses));
+  for (const ClientUpdate& u : updates) mses.push_back(u.mse);
+  return weights_from_mse(mses);
+}
+
+StalenessAggregator::StalenessAggregator(std::unique_ptr<Aggregator> base,
+                                         double alpha)
+    : base_(std::move(base)), alpha_(alpha) {
+  GOLDFISH_CHECK(base_ != nullptr, "staleness wrapper needs a base");
+  GOLDFISH_CHECK(alpha_ >= 0.0, "negative staleness exponent");
+}
+
+float StalenessAggregator::decay(long staleness, double alpha) {
+  GOLDFISH_CHECK(staleness >= 0, "negative staleness");
+  // (1+s)^−α; s = 0 (or α = 0) gives exactly 1.0, so fresh updates — and
+  // the whole synchronous path — are weighted identically to the base.
+  return static_cast<float>(std::pow(1.0 + double(staleness), -alpha));
+}
+
+std::vector<float> StalenessAggregator::weights(
+    const std::vector<ClientUpdate>& updates) const {
+  std::vector<float> w = base_->weights(updates);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w[i] *= decay(updates[i].staleness, alpha_);
+  return w;
 }
 
 std::unique_ptr<Aggregator> make_aggregator(const std::string& name) {

@@ -1,5 +1,6 @@
-// Server-side model aggregation: FedAvg (McMahan et al.) and the paper's
-// adaptive-weight extension (Eq. 12–13).
+// Server-side model aggregation: FedAvg (McMahan et al.), the paper's
+// adaptive-weight extension (Eq. 12–13), and FedBuff-style staleness
+// discounting for the buffered-asynchronous round loop.
 #pragma once
 
 #include <memory>
@@ -17,21 +18,40 @@ struct ClientUpdate {
   /// before adaptive aggregation (Eq. 12 is computed "at the central
   /// server").
   double mse = 0.0;
+  /// Server-version lag at aggregation time (asynchronous rounds): the
+  /// number of aggregations that fired between the model this update was
+  /// trained from and the one consuming it. Always 0 in synchronous rounds.
+  long staleness = 0;
 };
 
-/// Aggregation strategy interface.
+/// Aggregation strategy interface. Strategies supply per-update *weights*;
+/// the averaging itself is shared (and copy-free: update snapshots are
+/// borrowed by nn::weighted_average, never cloned).
 class Aggregator {
  public:
   virtual ~Aggregator() = default;
-  virtual std::vector<Tensor> aggregate(
+
+  /// Per-update base weights (need not be normalized). Throws on inputs the
+  /// strategy cannot weight (e.g. FedAvg with an empty client dataset).
+  virtual std::vector<float> weights(
       const std::vector<ClientUpdate>& updates) const = 0;
+
+  /// Weighted average of the updates' parameters under weights().
+  std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates) const;
+
+  /// True when the strategy reads ClientUpdate::mse, i.e. the server must
+  /// score every update on its test set before aggregating (replaces the
+  /// brittle `name() == "adaptive"` string check).
+  virtual bool needs_mse() const { return false; }
+
   virtual std::string name() const = 0;
 };
 
 /// FedAvg: weights proportional to |D_c|.
 class FedAvgAggregator final : public Aggregator {
  public:
-  std::vector<Tensor> aggregate(
+  std::vector<float> weights(
       const std::vector<ClientUpdate>& updates) const override;
   std::string name() const override { return "fedavg"; }
 };
@@ -42,7 +62,7 @@ class FedAvgAggregator final : public Aggregator {
 /// from the size-weighted FedAvgAggregator above.
 class UniformAggregator final : public Aggregator {
  public:
-  std::vector<Tensor> aggregate(
+  std::vector<float> weights(
       const std::vector<ClientUpdate>& updates) const override;
   std::string name() const override { return "uniform"; }
 };
@@ -52,12 +72,37 @@ class UniformAggregator final : public Aggregator {
 /// Lower test MSE ⇒ exponentially larger weight.
 class AdaptiveAggregator final : public Aggregator {
  public:
-  std::vector<Tensor> aggregate(
+  std::vector<float> weights(
       const std::vector<ClientUpdate>& updates) const override;
+  bool needs_mse() const override { return true; }
   std::string name() const override { return "adaptive"; }
 
-  /// The raw Eq. 12 weights (exposed for tests/benches).
+  /// The raw Eq. 12 weights (exposed for tests/benches). All-zero MSEs
+  /// (every client fits the test set perfectly — common on tiny synthetic
+  /// sets) fall back to uniform weights instead of aborting.
   static std::vector<float> weights_from_mse(const std::vector<double>& mses);
+};
+
+/// FedBuff-style staleness discounting layered over any base strategy: each
+/// update's base weight is multiplied by the polynomial decay (1+s)^−α,
+/// where s is ClientUpdate::staleness. α = 0 reproduces the base aggregator
+/// exactly (decay ≡ 1). Composes with all three strategies above, including
+/// the paper's adaptive MSE weighting.
+class StalenessAggregator final : public Aggregator {
+ public:
+  StalenessAggregator(std::unique_ptr<Aggregator> base, double alpha);
+
+  std::vector<float> weights(
+      const std::vector<ClientUpdate>& updates) const override;
+  bool needs_mse() const override { return base_->needs_mse(); }
+  std::string name() const override { return base_->name() + "+staleness"; }
+
+  /// The (1+s)^−α decay factor itself (exposed for tests).
+  static float decay(long staleness, double alpha);
+
+ private:
+  std::unique_ptr<Aggregator> base_;
+  double alpha_;
 };
 
 std::unique_ptr<Aggregator> make_aggregator(const std::string& name);

@@ -26,6 +26,26 @@
 
 namespace goldfish::fl {
 
+/// Buffered-asynchronous execution knobs (FederatedSim::run_async): a
+/// FedBuff-style semi-asynchronous server driven by a deterministic virtual
+/// clock. Clients train continuously as independent tasks; the server
+/// aggregates whenever `buffer_size` updates have arrived, discounting each
+/// update by its staleness.
+struct AsyncFlConfig {
+  /// Updates buffered before the server aggregates (K). 0 → num_clients.
+  long buffer_size = 0;
+  /// Staleness decay exponent α: an update s server-versions stale is
+  /// weighted by (1+s)^−α on top of the base aggregator's weight (composes
+  /// with fedavg/uniform/adaptive). 0 disables decay.
+  double staleness_alpha = 0.5;
+  /// Mean virtual duration of one local-training task.
+  double mean_duration = 1.0;
+  /// Log-normal spread of task durations: duration = mean·exp(j·N(0,1)),
+  /// drawn from the seeded RNG per (client, task). 0 → every task takes
+  /// exactly mean_duration, which reproduces the synchronous schedule.
+  double duration_log_jitter = 0.25;
+};
+
 struct FlConfig {
   TrainOptions local;                ///< per-round local training options
   std::string aggregator = "fedavg"; ///< "fedavg" | "uniform" | "adaptive"
@@ -40,6 +60,8 @@ struct FlConfig {
   /// pass per model). Accuracy/MSE are bit-identical for any value.
   long eval_batch = 0;
   std::uint64_t seed = 7;
+  /// Buffered-asynchronous mode parameters (only read by run_async).
+  AsyncFlConfig async;
 };
 
 /// Telemetry for one synchronous round.
@@ -50,6 +72,33 @@ struct RoundResult {
   double max_local_accuracy = 0.0;
   double mean_local_accuracy = 0.0;
   std::size_t bytes_uplinked = 0;
+};
+
+/// Telemetry for one asynchronous buffer aggregation.
+struct AsyncRoundResult {
+  long agg = 0;                 ///< aggregation index within this run
+  double virtual_time = 0.0;    ///< virtual clock when the buffer filled
+  double global_accuracy = 0.0;
+  double mean_staleness = 0.0;  ///< over the K consumed updates
+  long max_staleness = 0;
+  long updates_consumed = 0;    ///< == buffer size K
+  /// Updates invalidated so far (cumulative): deletion requests evict a
+  /// client's buffered updates and void its in-flight task.
+  long dropped_updates = 0;
+  std::size_t bytes_uplinked = 0;  ///< wire bytes of the consumed updates
+};
+
+/// A deletion request arriving mid-run at a virtual time: at `time`, the
+/// client's local data is replaced by `new_data` (its remaining rows D_r),
+/// any of its updates still sitting in the server's buffer are evicted, and
+/// its in-flight task is voided on completion — both were trained on data
+/// that now includes deleted rows, and must never reach an aggregation.
+/// Updates aggregated *before* `time` are history; undoing their influence
+/// is the unlearner's job (core/unlearner.h builds these events).
+struct AsyncDeletion {
+  double time = 0.0;
+  std::size_t client = 0;
+  data::Dataset new_data;
 };
 
 class FederatedSim {
@@ -74,6 +123,29 @@ class FederatedSim {
 
   /// Run `rounds` rounds, collecting telemetry.
   std::vector<RoundResult> run(long rounds);
+
+  /// Buffered-asynchronous execution (FedBuff-style): clients train
+  /// continuously as independent Scheduler tasks; the server aggregates
+  /// whenever K = cfg.async.buffer_size updates have arrived, weighting each
+  /// by its base aggregator weight × (1+staleness)^−α. Runs until
+  /// `aggregations` buffers have been consumed.
+  ///
+  /// Determinism: completion order is governed by a virtual clock — task
+  /// durations are drawn from the seeded RNG, completions are processed in
+  /// (virtual time, client id) order, and same-timestamp completions are
+  /// buffered before any of those clients re-downloads — so results are
+  /// bit-identical at any thread count. With K = num_clients and
+  /// duration_log_jitter = 0 the schedule degenerates to the synchronous
+  /// one: every aggregation consumes exactly one fresh update per client, in
+  /// client order, matching run_round bit for bit (with α > 0 the staleness
+  /// factor is exactly 1 for fresh updates).
+  ///
+  /// `deletions` inject unlearning requests mid-run (see AsyncDeletion);
+  /// they must be the client's *remaining* data and take effect at their
+  /// virtual time, evicting the client's pending/in-flight updates. After
+  /// the run, clients_ reflects the post-deletion datasets.
+  std::vector<AsyncRoundResult> run_async(
+      long aggregations, std::vector<AsyncDeletion> deletions = {});
 
   nn::Model& global_model() { return global_; }
   const data::Dataset& server_test() const { return test_; }
@@ -108,10 +180,19 @@ class FederatedSim {
   // teardown park their storage here before the scope drains it.
   BufferPoolScope recycle_;
   nn::Model global_;
+  /// Structural template for pool replicas. Never written after
+  /// construction: a cold-pool lease clones *this* (its values are always
+  /// overwritten by copy_from/load before use), so growing the pool from a
+  /// worker thread never races the main thread's writes to global_ — which
+  /// run_async performs while client tasks are still in flight.
+  nn::Model replica_template_;
   std::vector<data::Dataset> clients_;
   data::Dataset test_;
   FlConfig cfg_;
   std::unique_ptr<Aggregator> aggregator_;
+  /// cfg.aggregator wrapped in (1+s)^−α staleness discounting; null when
+  /// α = 0 (run_async then uses aggregator_ directly).
+  std::unique_ptr<Aggregator> staleness_aggregator_;
   std::unique_ptr<runtime::Scheduler> owned_sched_;  // only when cfg.threads
   runtime::Scheduler* sched_;  // the pool client tasks run on
   metrics::BatchedEvaluator eval_;

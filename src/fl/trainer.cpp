@@ -16,6 +16,12 @@ TrainStats train_local(nn::Model& model, const data::Dataset& ds,
   nn::Sgd sgd(sgd_opts);
   Rng rng(opts.seed);
 
+  // backward() accumulates into whatever the gradient buffers hold; a model
+  // handed in with non-zero accumulators (e.g. a pooled replica loaded via
+  // Model::load, which — unlike copy_from — leaves gradients untouched)
+  // would silently fold stale gradients into its first step.
+  model.zero_grad();
+
   TrainStats stats;
   Tensor x;             // batch storage reused across steps and epochs
   std::vector<long> y;

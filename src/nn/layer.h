@@ -32,6 +32,13 @@ struct ParamRef {
   Tensor* grad = nullptr;
 };
 
+/// Read-only view over a parameter's value (no gradient access) — what
+/// const contexts (snapshotting, scalar counting, shape inspection) get.
+struct ConstParamRef {
+  std::string name;
+  const Tensor* value = nullptr;
+};
+
 /// Base class for all network layers.
 class Layer {
  public:
@@ -52,6 +59,16 @@ class Layer {
 
   /// Parameters and their gradient accumulators, if any.
   virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Read-only parameter views. params() is logically const — it only
+  /// exposes views and mutates nothing — so this is the one sanctioned
+  /// const_cast seam; callers (Model::snapshot() const etc.) stay cast-free.
+  std::vector<ConstParamRef> const_params() const {
+    std::vector<ConstParamRef> out;
+    for (const ParamRef& p : const_cast<Layer*>(this)->params())
+      out.push_back({p.name, p.value});
+    return out;
+  }
 
   /// Deep copy, including parameter values (running stats too) but with
   /// freshly zeroed gradients and no workspace binding (the owning Model

@@ -49,7 +49,7 @@ void Model::copy_from(const Model& other) {
                      num_classes_ == other.num_classes_,
                  "copy_from across different architectures");
   auto dst = root_->params();
-  auto src = const_cast<Model&>(other).root_->params();
+  auto src = other.params();
   GOLDFISH_CHECK(dst.size() == src.size(),
                  "copy_from parameter count mismatch");
   for (std::size_t i = 0; i < dst.size(); ++i) {
@@ -67,15 +67,13 @@ void Model::zero_grad() {
 
 std::size_t Model::num_scalars() const {
   std::size_t n = 0;
-  for (ParamRef p : const_cast<Model*>(this)->root_->params())
-    n += p.value->numel();
+  for (const ConstParamRef& p : params()) n += p.value->numel();
   return n;
 }
 
 std::vector<Tensor> Model::snapshot() const {
   std::vector<Tensor> out;
-  for (ParamRef p : const_cast<Model*>(this)->root_->params())
-    out.push_back(*p.value);
+  for (const ConstParamRef& p : params()) out.push_back(*p.value);
   return out;
 }
 
@@ -98,7 +96,7 @@ void axpy(std::vector<Tensor>& result, const std::vector<Tensor>& delta,
 }
 
 std::vector<Tensor> weighted_average(
-    const std::vector<std::vector<Tensor>>& snaps,
+    const std::vector<const std::vector<Tensor>*>& snaps,
     const std::vector<float>& weights) {
   GOLDFISH_CHECK(!snaps.empty(), "no snapshots to average");
   GOLDFISH_CHECK(snaps.size() == weights.size(), "weights size mismatch");
@@ -109,13 +107,35 @@ std::vector<Tensor> weighted_average(
   }
   GOLDFISH_CHECK(total > 0.0f, "aggregation weights sum to zero");
 
-  std::vector<Tensor> out = snaps[0];
-  for (Tensor& t : out) t *= (weights[0] / total);
+  // First snapshot written in place (out[i] = w0·a0[i] — the same FP ops as
+  // the historical copy-then-scale, so results are bit-identical), the rest
+  // accumulated with axpy. No input snapshot is ever copied.
+  const std::vector<Tensor>& first = *snaps[0];
+  const float w0 = weights[0] / total;
+  std::vector<Tensor> out;
+  out.reserve(first.size());
+  for (const Tensor& t : first) {
+    Tensor acc = Tensor::uninit(t.shape());
+    const float* src = t.data();
+    float* dst = acc.data();
+    for (std::size_t i = 0; i < t.numel(); ++i) dst[i] = src[i] * w0;
+    out.push_back(std::move(acc));
+  }
   for (std::size_t s = 1; s < snaps.size(); ++s) {
-    GOLDFISH_CHECK(snaps[s].size() == out.size(), "snapshot layout mismatch");
-    axpy(out, snaps[s], weights[s] / total);
+    GOLDFISH_CHECK(snaps[s]->size() == out.size(),
+                   "snapshot layout mismatch");
+    axpy(out, *snaps[s], weights[s] / total);
   }
   return out;
+}
+
+std::vector<Tensor> weighted_average(
+    const std::vector<std::vector<Tensor>>& snaps,
+    const std::vector<float>& weights) {
+  std::vector<const std::vector<Tensor>*> views;
+  views.reserve(snaps.size());
+  for (const std::vector<Tensor>& s : snaps) views.push_back(&s);
+  return weighted_average(views, weights);
 }
 
 float snapshot_distance_sq(const std::vector<Tensor>& a,

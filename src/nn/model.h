@@ -49,6 +49,10 @@ class Model {
   /// All parameters (including batch-norm running stats, whose grad is null).
   std::vector<ParamRef> params() { return root_->params(); }
 
+  /// Read-only parameter views, usable on a const model (what the FL layer's
+  /// architecture checks and snapshot paths use).
+  std::vector<ConstParamRef> params() const { return root_->const_params(); }
+
   /// Zero every gradient accumulator.
   void zero_grad();
 
@@ -85,7 +89,16 @@ class Model {
 void axpy(std::vector<Tensor>& result, const std::vector<Tensor>& delta,
           float scale);
 
-/// Weighted average of snapshots; weights need not be normalized.
+/// Weighted average of *borrowed* snapshots; weights need not be
+/// normalized. Accumulates in place into freshly sized output tensors — no
+/// snapshot is copied, which is what keeps server aggregation from cloning
+/// the whole federation's parameters every round.
+std::vector<Tensor> weighted_average(
+    const std::vector<const std::vector<Tensor>*>& snaps,
+    const std::vector<float>& weights);
+
+/// Owning-container convenience overload (shard aggregation, tests); same
+/// arithmetic, bit-identical result.
 std::vector<Tensor> weighted_average(
     const std::vector<std::vector<Tensor>>& snaps,
     const std::vector<float>& weights);

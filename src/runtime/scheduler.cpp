@@ -53,6 +53,18 @@ void Scheduler::enqueue(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool Scheduler::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
 void Scheduler::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -70,6 +71,26 @@ class Scheduler {
     std::future<R> fut = task->get_future();
     enqueue([task] { (*task)(); });
     return fut;
+  }
+
+  /// Pop one queued task and run it on the calling thread; false when the
+  /// queue is empty. The caller-participation primitive for submit():
+  /// threads waiting on futures execute pending work instead of blocking.
+  bool try_run_one();
+
+  /// Block until `fut` is ready, draining queued tasks on this thread while
+  /// waiting. This is how a consumer collects submit() futures in its own
+  /// completion order (the async FL loop drains them in virtual-clock
+  /// order): deadlock-free at any parallelism, because the waiter is itself
+  /// a worker lane — even at parallelism 1, where no worker threads exist.
+  template <typename T>
+  void drain_until_ready(const std::future<T>& fut) {
+    while (fut.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      // Nothing runnable here: the task is mid-flight on another worker.
+      // A short timed wait bounds the latency of noticing completion.
+      if (!try_run_one()) fut.wait_for(std::chrono::microseconds(200));
+    }
   }
 
  private:

@@ -11,6 +11,26 @@
 
 namespace goldfish {
 
+/// The SplitMix64 finalizer: a full-avalanche 64-bit mix (every input bit
+/// flips each output bit with probability ~1/2). Usable standalone as a hash.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Collision-resistant stream seed for (base seed, stream, step) — e.g.
+/// (config seed, client id, round). Chains the SplitMix64 finalizer so every
+/// input fully avalanches before the next is folded in. The ad-hoc mix this
+/// replaced (`seed ^ (K·(stream+1)) ^ step`) was xor-linear: distinct
+/// (stream, step) pairs such as (0, K1^K2) and (1, 0) collided exactly and
+/// reused each other's RNG streams.
+inline std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream,
+                              std::uint64_t step) {
+  return splitmix64(splitmix64(splitmix64(seed) ^ stream) ^ step);
+}
+
 /// SplitMix64-based generator with normal/uniform helpers.
 ///
 /// SplitMix64 passes BigCrush, needs only 64 bits of state, and — unlike

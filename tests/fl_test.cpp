@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 
 #include "data/partition.h"
@@ -88,6 +89,83 @@ TEST(Uniform, IgnoresDatasetSizes) {
     for (std::size_t i = 0; i < avg[t].numel(); ++i)
       EXPECT_NEAR(avg[t][i],
                   0.5f * (ua.params[t][i] + ub.params[t][i]), 1e-5f);
+}
+
+TEST(Aggregators, SingleClientIsIdentity) {
+  // With one update every strategy normalizes its weight to exactly 1, so
+  // the aggregate is the client's snapshot bit for bit.
+  Rng rng(46);
+  nn::Model a = nn::make_mlp({1, 2, 2}, 4, 2, rng);
+  fl::ClientUpdate u{a.snapshot(), 250, 0.0};
+  for (const char* name : {"fedavg", "uniform", "adaptive"}) {
+    const auto avg = fl::make_aggregator(name)->aggregate({u});
+    ASSERT_EQ(avg.size(), u.params.size()) << name;
+    for (std::size_t t = 0; t < avg.size(); ++t)
+      for (std::size_t i = 0; i < avg[t].numel(); ++i)
+        EXPECT_EQ(avg[t][i], u.params[t][i]) << name;
+  }
+}
+
+TEST(AdaptiveWeights, AllZeroMseFallsBackToUniform) {
+  // Every client fitting the test set perfectly used to abort ("all-zero
+  // MSEs"); the degenerate case now weights clients uniformly.
+  const auto w = fl::AdaptiveAggregator::weights_from_mse({0.0, 0.0, 0.0});
+  ASSERT_EQ(w.size(), 3u);
+  for (float wi : w) EXPECT_EQ(wi, 1.0f);
+
+  Rng rng(47);
+  nn::Model a = nn::make_mlp({1, 2, 2}, 4, 2, rng);
+  nn::Model b = nn::make_mlp({1, 2, 2}, 4, 2, rng);
+  fl::AdaptiveAggregator agg;
+  const auto avg =
+      agg.aggregate({{a.snapshot(), 10, 0.0}, {b.snapshot(), 10, 0.0}});
+  for (std::size_t t = 0; t < avg.size(); ++t)
+    for (std::size_t i = 0; i < avg[t].numel(); ++i)
+      EXPECT_NEAR(avg[t][i],
+                  0.5f * (a.snapshot()[t][i] + b.snapshot()[t][i]), 1e-6f);
+}
+
+TEST(Staleness, PolynomialDecayWeights) {
+  EXPECT_EQ(fl::StalenessAggregator::decay(0, 0.5), 1.0f);
+  EXPECT_EQ(fl::StalenessAggregator::decay(3, 1.0), 0.25f);
+  EXPECT_NEAR(fl::StalenessAggregator::decay(1, 0.5),
+              1.0f / std::sqrt(2.0f), 1e-6f);
+
+  Rng rng(48);
+  nn::Model a = nn::make_mlp({1, 2, 2}, 4, 2, rng);
+  nn::Model b = nn::make_mlp({1, 2, 2}, 4, 2, rng);
+  fl::ClientUpdate fresh{a.snapshot(), 100, 0.0, /*staleness=*/0};
+  fl::ClientUpdate stale{b.snapshot(), 100, 0.0, /*staleness=*/3};
+  fl::StalenessAggregator agg(fl::make_aggregator("uniform"), 1.0);
+  const auto w = agg.weights({fresh, stale});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], 1.0f);
+  EXPECT_EQ(w[1], 0.25f);
+  // Aggregation normalizes: 0.8·fresh + 0.2·stale.
+  const auto avg = agg.aggregate({fresh, stale});
+  for (std::size_t t = 0; t < avg.size(); ++t)
+    for (std::size_t i = 0; i < avg[t].numel(); ++i)
+      EXPECT_NEAR(avg[t][i],
+                  0.8f * fresh.params[t][i] + 0.2f * stale.params[t][i],
+                  1e-6f);
+}
+
+TEST(Staleness, NormalizationAndComposition) {
+  // Identical snapshots must aggregate to themselves whatever the staleness
+  // profile (weights are normalized), and the wrapper must inherit the base
+  // strategy's server-side MSE requirement.
+  Rng rng(49);
+  nn::Model a = nn::make_mlp({1, 2, 2}, 4, 2, rng);
+  fl::ClientUpdate u0{a.snapshot(), 100, 0.0, 0};
+  fl::ClientUpdate u2{a.snapshot(), 100, 0.0, 2};
+  fl::StalenessAggregator agg(fl::make_aggregator("adaptive"), 0.5);
+  EXPECT_TRUE(agg.needs_mse());
+  EXPECT_EQ(agg.name(), "adaptive+staleness");
+  EXPECT_FALSE(fl::make_aggregator("fedavg")->needs_mse());
+  const auto avg = agg.aggregate({u0, u2});
+  for (std::size_t t = 0; t < avg.size(); ++t)
+    for (std::size_t i = 0; i < avg[t].numel(); ++i)
+      EXPECT_NEAR(avg[t][i], u0.params[t][i], 1e-6f);
 }
 
 TEST(AggregatorFactory, Names) {

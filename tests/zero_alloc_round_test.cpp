@@ -55,9 +55,10 @@ Fed make_fed(const char* arch, long clients, long train_rows, long test_rows,
   return fed;
 }
 
-// The pre-pool round, replicated verbatim: deep model copy per client,
-// stringstream wire path, per-client evaluation. run_round must match it
-// bit for bit.
+// The pre-pool round, replicated verbatim (modulo the per-client seed mix,
+// regenerated to the collision-free mix_seed golden stream): deep model copy
+// per client, stringstream wire path, per-client evaluation. run_round must
+// match it bit for bit.
 fl::RoundResult reference_round(nn::Model& global,
                                 const std::vector<data::Dataset>& clients,
                                 const data::Dataset& test,
@@ -71,8 +72,7 @@ fl::RoundResult reference_round(nn::Model& global,
   for (std::size_t c = 0; c < n; ++c) {
     nn::Model local = global;  // broadcast: deep copy of global weights
     fl::TrainOptions opts = cfg.local;
-    opts.seed = cfg.seed ^ (0x9E3779B9u * (c + 1)) ^
-                static_cast<std::uint64_t>(round);
+    opts.seed = mix_seed(cfg.seed, c, static_cast<std::uint64_t>(round));
     fl::train_local(local, clients[c], opts);
     std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
     const auto snap = local.snapshot();
