@@ -101,6 +101,47 @@ void BM_FlRoundAsync(benchmark::State& state) {
 }
 BENCHMARK(BM_FlRoundAsync)->Unit(benchmark::kMillisecond);
 
+// Engine scenario: sampled participation (75% of clients per server
+// version) with an adaptive buffer K(t) ∈ [4, 12] steered by observed
+// staleness — the "new scenario combination" regime the Engine API opened.
+// items_per_second is consumed *updates*/s (K varies per aggregation), so
+// the CI ratchet compares update throughput against the legacy synchronous
+// baseline with a 1/C scale.
+void BM_FlScenario(benchmark::State& state) {
+  Federation fed;
+  fl::FlConfig cfg;
+  fl::FederatedSim sim(fed.global, fed.parts, fed.test, cfg);
+  fl::Engine& eng = sim.engine();
+  constexpr long kAggsPerIter = 4;
+  const auto scenario = [&] {
+    fl::Scenario s = eng.async_scenario(kAggsPerIter);
+    s.participation = std::make_unique<fl::SampledParticipation>(0.75, 1234);
+    s.buffer = std::make_unique<fl::AdaptiveBuffer>(
+        /*initial=*/kClients / 2, /*min=*/kClients / 4,
+        /*max=*/3 * kClients / 4, /*target_staleness=*/1);
+    return s;
+  };
+  eng.run(scenario(), {});  // warm the pool, arenas and recycler
+  long updates = 0;
+  for (auto _ : state) {
+    eng.run(scenario(), [&](const fl::StepResult& r) {
+      updates += r.updates_consumed;
+      benchmark::DoNotOptimize(r.global_accuracy);
+    });
+  }
+  state.SetItemsProcessed(updates);
+  // Steady-state allocation gate: composed scenarios must stay as
+  // allocation-free as the canned rounds (per aggregation).
+  if (alloc_stats::enabled()) {
+    const std::size_t before = alloc_stats::heap_allocations();
+    long aggs = 0;
+    eng.run(scenario(), [&](const fl::StepResult&) { ++aggs; });
+    state.counters["allocs_per_agg"] =
+        double(alloc_stats::heap_allocations() - before) / double(aggs);
+  }
+}
+BENCHMARK(BM_FlScenario)->Unit(benchmark::kMillisecond);
+
 // -- the pre-pool round, kept verbatim as the old-vs-new baseline ---------
 
 /// The old wire path: serialize → stringstream → deserialize, allocating

@@ -64,7 +64,20 @@ int main() {
   ucfg.distill.lr = 0.05f;
   core::GoldfishUnlearner unlearner(global, fresh, clients, tt.test, ucfg);
   unlearner.request_deletion({{0, rows}});
-  unlearner.run(3);
+  unlearner.run(2);
+  // The unlearner rides the event-driven fl::Engine, so distillation also
+  // runs under a buffered semi-asynchronous server: the final round is a
+  // two-update-buffer scenario instead of a barrier round.
+  {
+    fl::Scenario s = unlearner.engine().async_scenario(1);
+    s.buffer = std::make_unique<fl::FixedBuffer>(2);
+    unlearner.engine().run(std::move(s), [](const fl::StepResult& r) {
+      std::cout << "  buffered distillation step: K=" << r.updates_consumed
+                << " at t=" << metrics::fmt(r.virtual_time, 2)
+                << ", accuracy " << metrics::fmt(r.global_accuracy)
+                << "%\n";
+    });
+  }
   audit("after unlearning ", unlearner.global_model());
 
   std::cout << "accuracy after unlearning: "

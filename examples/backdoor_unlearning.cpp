@@ -86,7 +86,12 @@ int main() {
   cfg.distill.use_early_termination = false;
   core::GoldfishUnlearner unlearner(global, fresh, clients, tt.test, cfg);
   unlearner.request_deletion({{0, poisoned.poisoned_indices}});
-  unlearner.run(3);
+  // run(3) is a canned synchronous scenario on the unlearner's engine;
+  // stream the per-round telemetry instead of collecting it silently.
+  for (const auto& round : unlearner.run(3))
+    std::cout << "    distill round " << round.round + 1 << ": accuracy "
+              << metrics::fmt(round.global_accuracy) << "%, epochs "
+              << round.total_epochs_run << "\n";
   report("Goldfish (ours)", unlearner.global_model());
 
   // B1: retrain from scratch.

@@ -8,6 +8,11 @@
 //   5. Compare accuracy before/after and show that predictions on the
 //      removed data lose their confidence.
 //
+// Both FederatedSim::run and GoldfishUnlearner::run are canned synchronous
+// scenarios over the event-driven fl::Engine; richer server regimes
+// (sampling, buffered aggregation, mid-run deletions, joins/leaves) compose
+// on the same engine — see examples/scenario_stream.cpp.
+//
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <iostream>
 

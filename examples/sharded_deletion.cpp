@@ -5,6 +5,11 @@
 // touches only some shards, so only those retrain — from their checkpoints,
 // not from scratch. This example measures the retraining saving directly.
 //
+// Sharding is the *intra-client* deletion optimization; the *server-side*
+// half of a deletion (evicting the client's stale uploads mid-buffer) is a
+// fl::DeletionEvent on the engine's scenario timeline — see
+// examples/scenario_stream.cpp for the two composed in one run.
+//
 // Run: ./build/examples/sharded_deletion
 #include <chrono>
 #include <iostream>

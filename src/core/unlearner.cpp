@@ -1,25 +1,47 @@
 #include "core/unlearner.h"
 
-#include <atomic>
-
-#include "metrics/evaluation.h"
-#include "tensor/serialize.h"
-
 namespace goldfish::core {
 
 GoldfishUnlearner::GoldfishUnlearner(nn::Model global, nn::Model fresh_init,
                                      std::vector<data::Dataset> client_data,
                                      data::Dataset server_test,
                                      UnlearnConfig cfg)
-    : teacher_(std::move(global)),
-      global_(std::move(fresh_init)),
-      remaining_(std::move(client_data)),
-      test_(std::move(server_test)),
-      cfg_(std::move(cfg)),
-      aggregator_(fl::make_aggregator(cfg_.aggregator)),
-      sched_(&runtime::scheduler_for(cfg_.threads, owned_sched_)) {
-  GOLDFISH_CHECK(!remaining_.empty(), "unlearner needs clients");
-  removed_.resize(remaining_.size());
+    : teacher_(std::move(global)), cfg_(std::move(cfg)) {
+  GOLDFISH_CHECK(!client_data.empty(), "unlearner needs clients");
+  removed_.resize(client_data.size());
+
+  fl::FlConfig fcfg;
+  fcfg.aggregator = cfg_.aggregator;
+  fcfg.threads = cfg_.threads;
+  fcfg.seed = cfg_.seed;
+  engine_ = std::make_unique<fl::Engine>(std::move(fresh_init),
+                                         std::move(client_data),
+                                         std::move(server_test), fcfg);
+
+  // The client update is Goldfish distillation instead of LocalTraining:
+  // the student is the engine's broadcast replica (the current, partially
+  // rebuilt global model), the teacher is the frozen pre-unlearning model.
+  // Each client gets its own teacher replica: forward passes mutate layer
+  // caches, so sharing one teacher across threads would race.
+  engine_->set_client_update([this](std::size_t c, nn::Model& student,
+                                    const data::Dataset& d_r, long round) {
+    nn::Model teacher = teacher_;
+    DistillOptions opts = cfg_.distill;
+    // Collision-free (client, round) stream separation; the old xor mix let
+    // distinct pairs reuse each other's RNG streams (see mix_seed).
+    opts.seed = mix_seed(cfg_.seed ^ 0xC0FFEEull, c,
+                         static_cast<std::uint64_t>(round));
+    const data::Dataset& d_f =
+        c < removed_.size() ? removed_[c] : no_removed_;
+    const float ref = reference_loss_of(teacher, d_r, opts);
+    const DistillResult res =
+        goldfish_distill(student, teacher, d_r, d_f, ref, opts);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    epochs_run_ += res.epochs_run;
+    if (res.terminated_early) ++terminated_early_;
+    if (c >= temps_.size()) temps_.resize(c + 1, 0.0);
+    temps_[c] = res.temperature_used;
+  });
 }
 
 DeletionSplit split_deletion(const data::Dataset& local,
@@ -53,75 +75,60 @@ AsyncDeletionPlan make_async_deletion(const fl::FederatedSim& sim,
 
 void GoldfishUnlearner::request_deletion(
     const std::vector<UnlearnRequest>& requests) {
+  // Check the engine's in-flight guard before touching removed_: rejecting
+  // halfway through would leave rows listed as D_f while still training as
+  // D_r (and a retry would concatenate them twice). Mid-run requests go
+  // through make_async_deletion + a scenario DeletionEvent instead.
+  if (engine_->running())
+    throw std::logic_error(
+        "GoldfishUnlearner: request_deletion while a run is in flight; "
+        "inject a DeletionEvent into the scenario instead");
   for (const UnlearnRequest& req : requests) {
-    GOLDFISH_CHECK(req.client_id < remaining_.size(),
+    GOLDFISH_CHECK(req.client_id < engine_->num_clients(),
                    "deletion request for unknown client");
-    DeletionSplit split = split_deletion(remaining_[req.client_id], req);
+    DeletionSplit split =
+        split_deletion(engine_->client_data(req.client_id), req);
+    if (req.client_id >= removed_.size())
+      removed_.resize(req.client_id + 1);
     removed_[req.client_id] =
         data::Dataset::concat(removed_[req.client_id], split.removed);
-    remaining_[req.client_id] = std::move(split.remaining);
+    engine_->set_client_data(req.client_id, std::move(split.remaining));
   }
 }
 
 const data::Dataset& GoldfishUnlearner::removed_data(
     std::size_t client) const {
-  GOLDFISH_CHECK(client < removed_.size(), "client out of range");
-  return removed_[client];
+  GOLDFISH_CHECK(client < engine_->num_clients(), "client out of range");
+  return client < removed_.size() ? removed_[client] : no_removed_;
 }
 
 const data::Dataset& GoldfishUnlearner::remaining_data(
     std::size_t client) const {
-  GOLDFISH_CHECK(client < remaining_.size(), "client out of range");
-  return remaining_[client];
+  return engine_->client_data(client);
 }
 
 UnlearnRoundResult GoldfishUnlearner::run_round() {
-  const std::size_t n = remaining_.size();
-  std::vector<fl::ClientUpdate> updates(n);
-  std::atomic<long> epochs{0};
-  std::atomic<long> early{0};
-  std::vector<double> temps(n, 0.0);
-
-  sched_->parallel_map(n, [&](std::size_t c) {
-    // Student starts from the current (re-initialized / partially rebuilt)
-    // global model; teacher is the frozen pre-unlearning model. Each client
-    // gets its own teacher replica: forward passes mutate layer caches, so
-    // sharing one teacher across threads would race.
-    nn::Model student = global_;
-    nn::Model teacher = teacher_;
-    DistillOptions opts = cfg_.distill;
-    // Collision-free (client, round) stream separation; the old xor mix let
-    // distinct pairs reuse each other's RNG streams (see mix_seed).
-    opts.seed = mix_seed(cfg_.seed ^ 0xC0FFEEull, c,
-                         static_cast<std::uint64_t>(round_));
-    const float ref = reference_loss_of(teacher, remaining_[c], opts);
-    const DistillResult res = goldfish_distill(
-        student, teacher, remaining_[c], removed_[c], ref, opts);
-    epochs.fetch_add(res.epochs_run, std::memory_order_relaxed);
-    if (res.terminated_early) early.fetch_add(1, std::memory_order_relaxed);
-    temps[c] = res.temperature_used;
-
-    updates[c].params = roundtrip_through_bytes(student.snapshot(), nullptr);
-    updates[c].dataset_size = remaining_[c].size();
-  });
-
-  if (aggregator_->needs_mse()) {
-    sched_->parallel_map(n, [&](std::size_t c) {
-      nn::Model scratch = global_;
-      scratch.load(updates[c].params);
-      updates[c].mse = metrics::mse(scratch, test_);
-    });
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    epochs_run_ = 0;
+    terminated_early_ = 0;
+    temps_.assign(engine_->num_clients(), 0.0);
   }
-  global_.load(aggregator_->aggregate(updates));
 
   UnlearnRoundResult r;
-  r.round = round_++;
-  r.global_accuracy = metrics::accuracy(global_, test_);
-  r.total_epochs_run = epochs.load();
-  r.clients_terminated_early = early.load();
+  const long base = engine_->rounds_completed();
+  engine_->run(engine_->sync_scenario(1, /*local_accuracy=*/false),
+               [&](const fl::StepResult& s) {
+                 r.round = base + s.step;
+                 r.global_accuracy = s.global_accuracy;
+               });
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  r.total_epochs_run = epochs_run_;
+  r.clients_terminated_early = terminated_early_;
   double tsum = 0.0;
-  for (double t : temps) tsum += t;
-  r.mean_temperature = tsum / double(n);
+  for (double t : temps_) tsum += t;
+  r.mean_temperature = tsum / double(temps_.size());
   return r;
 }
 

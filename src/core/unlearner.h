@@ -6,7 +6,16 @@
 // with their (D_r, D_f) split, normal clients with D_f = ∅ — after which the
 // server aggregates with adaptive weights (Eq. 12–13). Accuracy recovers at
 // distillation speed while D_f's influence is never transferred.
+//
+// The unlearner executes on the same event-driven fl::Engine as federated
+// training: distillation is just its client-update function, and run_round
+// is the canned synchronous scenario. Because of that, unlearning composes
+// with every server regime the engine supports — run a buffered scenario
+// (or sampling, availability windows, adaptive K) through engine() and the
+// distillation rounds become semi-asynchronous with no extra code.
 #pragma once
+
+#include <mutex>
 
 #include "core/distill_trainer.h"
 #include "fl/simulation.h"
@@ -30,15 +39,16 @@ struct DeletionSplit {
 DeletionSplit split_deletion(const data::Dataset& local,
                              const UnlearnRequest& req);
 
-/// Build the buffered-asynchronous deletion trigger for a request against a
+/// Build the scenario-timeline deletion trigger for a request against a
 /// running FederatedSim: the returned event, handed to
-/// FederatedSim::run_async, replaces the client's data with its remaining
-/// rows at virtual time `vtime` — evicting the client's buffered and
-/// in-flight updates, which trained on the deleted rows, before they can
-/// reach an aggregation. The removed rows (D_f) are returned for the
-/// distillation phase (GoldfishUnlearner) and auditing.
+/// FederatedSim::run_async (or placed in any Engine Scenario), replaces the
+/// client's data with its remaining rows at virtual time `vtime` — evicting
+/// the client's buffered and in-flight updates, which trained on the
+/// deleted rows, before they can reach an aggregation. The removed rows
+/// (D_f) are returned for the distillation phase (GoldfishUnlearner) and
+/// auditing.
 struct AsyncDeletionPlan {
-  fl::AsyncDeletion event;
+  fl::DeletionEvent event;
   data::Dataset removed;
 };
 AsyncDeletionPlan make_async_deletion(const fl::FederatedSim& sim,
@@ -75,28 +85,44 @@ class GoldfishUnlearner {
   void request_deletion(const std::vector<UnlearnRequest>& requests);
 
   /// Run one synchronous unlearning round (all clients distill in parallel,
-  /// then adaptive aggregation).
+  /// then adaptive aggregation) — the engine's canned sync scenario.
   UnlearnRoundResult run_round();
 
   /// Run `rounds` rounds.
   std::vector<UnlearnRoundResult> run(long rounds);
 
-  nn::Model& global_model() { return global_; }
+  /// The execution engine underneath. Unlearning scenarios compose like
+  /// training ones: e.g. engine().run(engine().async_scenario(aggs), sink)
+  /// distills through a buffered semi-asynchronous server, and sampling /
+  /// buffer / clock policies apply unchanged. Distillation telemetry
+  /// (epochs, early terminations, temperatures) accumulates across one
+  /// run and is reported by run_round; custom scenarios read the engine's
+  /// StepResult stream directly.
+  fl::Engine& engine() { return *engine_; }
+
+  nn::Model& global_model() { return engine_->global_model(); }
   nn::Model& teacher_model() { return teacher_; }
   const data::Dataset& removed_data(std::size_t client) const;
   const data::Dataset& remaining_data(std::size_t client) const;
 
  private:
   nn::Model teacher_;  // pre-unlearning global model (knowledge source)
-  nn::Model global_;   // re-initialized, being rebuilt
-  std::vector<data::Dataset> remaining_;
-  std::vector<data::Dataset> removed_;
-  data::Dataset test_;
   UnlearnConfig cfg_;
-  std::unique_ptr<fl::Aggregator> aggregator_;
-  std::unique_ptr<runtime::Scheduler> owned_sched_;  // only when cfg.threads
-  runtime::Scheduler* sched_;
-  long round_ = 0;
+  /// Client datasets live in the engine (its client_data is D_r); only the
+  /// forget-sets are kept here. removed_[c] may lag num_clients() when
+  /// clients join mid-scenario — joined clients simply have D_f = ∅.
+  std::vector<data::Dataset> removed_;
+  data::Dataset no_removed_;  // D_f = ∅ for clients without deletions
+  std::unique_ptr<fl::Engine> engine_;
+
+  // Distillation telemetry, accumulated by the client-update function
+  // across one engine run and drained by run_round. Temperatures are kept
+  // per client and summed in client order so the mean is bit-identical at
+  // any thread count.
+  std::mutex stats_mu_;
+  long epochs_run_ = 0;
+  long terminated_early_ = 0;
+  std::vector<double> temps_;
 };
 
 }  // namespace goldfish::core

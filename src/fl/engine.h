@@ -1,0 +1,309 @@
+// The event-driven federated execution engine: ONE server loop under every
+// regime the library supports — synchronous barrier rounds, FedBuff-style
+// buffered aggregation, mid-stream deletions, clients joining and leaving,
+// aggregator swaps — parameterized by small policy objects (fl/policies.h)
+// and driven by a typed Scenario event timeline.
+//
+// Execution is split in two phases. Phase A builds the complete event
+// schedule on a virtual clock (which tasks run, which aggregation consumes
+// each update, every staleness value, every eviction) *before any training
+// runs*: durations and policies depend only on seeded RNG streams, never on
+// training results. Phase B then executes the plan, respecting only its
+// data dependencies — a task training from server version v is submitted
+// once version v is published, and the aggregation loop drains futures in
+// the planned (virtual time, client id) order. Results are therefore
+// bit-identical at any thread count.
+//
+// The steady state is allocation-free: client models come from a pooled
+// replica set (broadcast is an in-place load over pooled storage), layers
+// write into per-model Workspace arenas, the wire path reuses per-thread
+// buffers, and remaining tensor temporaries recycle through a
+// BufferPoolScope held for the engine's lifetime.
+//
+// FederatedSim (fl/simulation.h) keeps the familiar run_round/run/run_async
+// entry points as thin facades: each is a canned Scenario + policy bundle
+// over this engine, bit-identical to the historical implementations.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fl/aggregation.h"
+#include "fl/policies.h"
+#include "fl/trainer.h"
+#include "metrics/evaluation.h"
+#include "runtime/scheduler.h"
+#include "tensor/buffer_pool.h"
+
+namespace goldfish::fl {
+
+/// Buffered-asynchronous execution knobs: the default parameter source for
+/// buffered scenarios (Engine::async_scenario / FederatedSim::run_async).
+struct AsyncFlConfig {
+  /// Updates buffered before the server aggregates (K). 0 → num_clients.
+  long buffer_size = 0;
+  /// Staleness decay exponent α: an update s server-versions stale is
+  /// weighted by (1+s)^−α on top of the base aggregator's weight (composes
+  /// with fedavg/uniform/adaptive). 0 disables decay.
+  double staleness_alpha = 0.5;
+  /// Mean virtual duration of one local-training task.
+  double mean_duration = 1.0;
+  /// Log-normal spread of task durations: duration = mean·exp(j·N(0,1)),
+  /// drawn from the seeded RNG per (client, task). 0 → every task takes
+  /// exactly mean_duration, which reproduces the synchronous schedule.
+  double duration_log_jitter = 0.25;
+};
+
+struct FlConfig {
+  TrainOptions local;                ///< per-round local training options
+  std::string aggregator = "fedavg"; ///< "fedavg" | "uniform" | "adaptive"
+  /// 0 → share the process-wide runtime Scheduler (the normal case; client
+  /// tasks and the kernels inside them draw from one pool). Non-zero → a
+  /// private Scheduler with that parallelism for *client-level* tasks only;
+  /// kernels inside them still use the global pool, so to pin the whole
+  /// process set GOLDFISH_THREADS instead.
+  std::size_t threads = 0;
+  /// Rows per server-side evaluation batch; 0 (default) auto-bounds the
+  /// chunk (~2^21 input floats; sets below that run as one fused forward
+  /// pass per model). Accuracy/MSE are bit-identical for any value.
+  long eval_batch = 0;
+  std::uint64_t seed = 7;
+  /// Buffered-asynchronous mode parameters (defaults for async scenarios).
+  AsyncFlConfig async;
+};
+
+// -- scenario timeline events ----------------------------------------------
+//
+// Events are merged onto the virtual timeline and applied in (time, kind,
+// declaration index) order, always *before* any task completion at the same
+// or a later time.
+
+/// An unlearning request arriving mid-run: at `time`, the client's local
+/// data is replaced by `new_data` (its remaining rows D_r), any of its
+/// updates still sitting in the server's buffer are evicted, and its
+/// in-flight task is voided on completion — both were trained on data that
+/// now includes deleted rows, and must never reach an aggregation. Updates
+/// aggregated *before* `time` are history; undoing their influence is the
+/// unlearner's job (core/unlearner.h builds these events).
+struct DeletionEvent {
+  double time = 0.0;
+  std::size_t client = 0;
+  data::Dataset new_data;
+};
+
+/// A new client joining the federation at `time` with its local dataset.
+/// It is assigned the next free client id (ids are dense and stable) and
+/// starts training immediately, subject to the participation policy. Joins
+/// are durable: after the run the engine's federation includes the client.
+struct ClientJoinEvent {
+  double time = 0.0;
+  data::Dataset dataset;
+};
+
+/// A client leaving the federation at `time`: it never starts another task
+/// and its in-flight task (if any) is voided on completion — the device is
+/// gone, the upload never arrives. Updates it already uploaded to the
+/// server's buffer remain valid and aggregate normally. Leaves are durable:
+/// the client stays registered (its data is kept) but inactive.
+struct ClientLeaveEvent {
+  double time = 0.0;
+  std::size_t client = 0;
+};
+
+/// Swap the server's aggregation strategy at `time`: every aggregation at
+/// or after `time` uses the named strategy ("fedavg" | "uniform" |
+/// "adaptive"), wrapped in the scenario's staleness discounting like the
+/// base strategy. Scenario-scoped: the engine's configured aggregator is
+/// restored for the next run.
+struct AggregatorSwapEvent {
+  double time = 0.0;
+  std::string aggregator;
+};
+
+/// A complete execution scenario: the horizon, the three policies (null →
+/// the legacy defaults derived from FlConfig), and the event timeline.
+/// Move-only; consumed by Engine::run (stateful policies such as
+/// AdaptiveBuffer are single-use by design).
+struct Scenario {
+  /// Number of buffer aggregations to run (the horizon).
+  long aggregations = 0;
+  std::unique_ptr<ParticipationPolicy> participation;  ///< null → full
+  std::unique_ptr<BufferPolicy> buffer;  ///< null → FixedBuffer(cfg.async)
+  std::unique_ptr<ClockPolicy> clock;    ///< null → VirtualClock(cfg.async)
+  std::vector<DeletionEvent> deletions;
+  std::vector<ClientJoinEvent> joins;
+  std::vector<ClientLeaveEvent> leaves;
+  std::vector<AggregatorSwapEvent> aggregator_swaps;
+  /// Staleness decay exponent for this run; negative → cfg.async value.
+  double staleness_alpha = -1.0;
+  /// Compute per-client local accuracies for every aggregation (the
+  /// synchronous round's telemetry; costs one evaluation per update).
+  bool local_accuracy = false;
+};
+
+/// Unified per-aggregation telemetry, emitted through the Engine's sink.
+/// Supersedes the legacy RoundResult / AsyncRoundResult split: synchronous
+/// rounds are simply steps whose staleness is 0 and whose local-accuracy
+/// block is populated.
+struct StepResult {
+  long step = 0;              ///< aggregation index within this run
+  double virtual_time = 0.0;  ///< virtual clock when the buffer filled
+  double global_accuracy = 0.0;
+  long updates_consumed = 0;  ///< buffer size K of this step
+  double mean_staleness = 0.0;
+  long max_staleness = 0;
+  long dropped_updates = 0;   ///< cumulative evictions (deletions, leaves)
+  std::size_t bytes_uplinked = 0;
+  std::size_t active_clients = 0;  ///< federation size after joins/leaves
+  std::string aggregator;          ///< strategy that produced this step
+  /// Per-client local accuracy over the consumed updates; populated only
+  /// when Scenario::local_accuracy is set.
+  bool has_local_accuracy = false;
+  double min_local_accuracy = 0.0;
+  double max_local_accuracy = 0.0;
+  double mean_local_accuracy = 0.0;
+};
+
+/// The single federated server loop. Owns the federation state (global
+/// model, client datasets, pooled client replicas, the server evaluator)
+/// and executes Scenarios against it.
+class Engine {
+ public:
+  /// The per-client update: receives a local model already initialized from
+  /// the downloaded server version, trains it, and returns nothing (the
+  /// engine snapshots the model afterwards). `round` is the client's global
+  /// RNG-stream index — unique per (client, round) across runs.
+  using ClientUpdateFn = std::function<void(
+      std::size_t client_id, nn::Model& local_model,
+      const data::Dataset& local_data, long round)>;
+
+  /// Telemetry sink: called once per aggregation, in order.
+  using StepSink = std::function<void(const StepResult&)>;
+
+  /// Validates `cfg` up front (unknown aggregator string, buffer_size out
+  /// of range, negative staleness_alpha / mean_duration, ...) and throws
+  /// std::invalid_argument with a specific message instead of misbehaving
+  /// later.
+  Engine(nn::Model global, std::vector<data::Dataset> client_data,
+         data::Dataset server_test, FlConfig cfg);
+
+  /// Replace the default (plain LocalTraining) client update. Rejected
+  /// while a run is in flight.
+  void set_client_update(ClientUpdateFn fn);
+
+  /// Execute a scenario, emitting one StepResult per aggregation. The
+  /// scenario is consumed. Not reentrant; throws std::logic_error if a run
+  /// is already in flight on another thread.
+  void run(Scenario scenario, const StepSink& sink);
+
+  /// run() collecting the telemetry stream into a vector.
+  std::vector<StepResult> collect(Scenario scenario);
+
+  // -- canned scenario bundles (the legacy entry points) -------------------
+
+  /// `rounds` synchronous barrier rounds: full participation, K = all
+  /// active clients, constant task durations, no staleness decay. With
+  /// `local_accuracy` this is exactly FederatedSim::run_round's regime.
+  Scenario sync_scenario(long rounds, bool local_accuracy = true) const;
+
+  /// FedBuff-style buffered-asynchronous execution from the FlConfig's
+  /// async block, with optional mid-run deletions — exactly
+  /// FederatedSim::run_async's regime.
+  Scenario async_scenario(long aggregations,
+                          std::vector<DeletionEvent> deletions = {}) const;
+
+  // -- federation state ----------------------------------------------------
+
+  nn::Model& global_model() { return global_; }
+  const data::Dataset& server_test() const { return test_; }
+  const data::Dataset& client_data(std::size_t c) const;
+  /// Registered clients, inactive (departed) ones included.
+  std::size_t num_clients() const { return clients_.size(); }
+  /// Clients currently participating in new runs (joins − leaves).
+  std::size_t active_clients() const;
+  /// True while a run is in flight (mutating accessors are rejected).
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Global round counter: the next unused (client, round) RNG-stream step.
+  long rounds_completed() const { return round_; }
+  const FlConfig& config() const { return cfg_; }
+
+  /// Number of pooled client-model replicas currently alive (grows on
+  /// demand, bounded by the scheduler's parallelism).
+  std::size_t pool_size() const { return pool_total_; }
+
+  /// Replace one client's dataset. Rejected (std::logic_error) while a run
+  /// is in flight — a leased replica's training task may be reading the
+  /// dataset concurrently; mid-run data changes are what DeletionEvent is
+  /// for.
+  void set_client_data(std::size_t c, data::Dataset ds);
+
+ private:
+  friend class FederatedSim;
+  struct Schedule;
+
+  /// RAII lease of a pooled model replica: pops a free replica (cloning the
+  /// global model only when the pool has never been this deep — i.e. the
+  /// first run), returns it on destruction. Leases never outlive the
+  /// engine.
+  class ModelLease {
+   public:
+    explicit ModelLease(Engine& eng);
+    ~ModelLease();
+    nn::Model& get() { return *model_; }
+
+   private:
+    Engine& eng_;
+    std::unique_ptr<nn::Model> model_;
+  };
+
+  void validate_scenario(const Scenario& s) const;
+  Schedule build_schedule(const Scenario& s) const;
+  void execute(const Scenario& scenario, const Schedule& plan,
+               const StepSink& sink);
+
+  /// True when the global model is a two-layer MLP (the `mlp<h>` family),
+  /// whose per-client evaluation can be stacked into one wide GEMM.
+  bool stackable_mlp() const;
+  /// Batched client evaluation: concatenate every update's hidden-layer
+  /// weights into one (K·h, D) matrix so a single fused GEMM per test chunk
+  /// computes all clients' hidden activations, then run each client's
+  /// logits head on its strided slice. Bit-identical to evaluating the
+  /// clients one at a time.
+  void stacked_local_accuracy(const std::vector<ClientUpdate>& updates,
+                              std::vector<double>& local_acc);
+
+  // Declared first so it is destroyed last: models returning to the pool on
+  // teardown park their storage here before the scope drains it.
+  BufferPoolScope recycle_;
+  nn::Model global_;
+  /// Structural template for pool replicas. Never written after
+  /// construction: a cold-pool lease clones *this* (its values are always
+  /// overwritten by load before use), so growing the pool from a worker
+  /// thread never races the main thread's writes to global_ — which the
+  /// aggregation loop performs while client tasks are still in flight.
+  nn::Model replica_template_;
+  std::vector<data::Dataset> clients_;
+  std::vector<bool> active_;  ///< false once a ClientLeaveEvent committed
+  data::Dataset test_;
+  FlConfig cfg_;
+  std::unique_ptr<runtime::Scheduler> owned_sched_;  // only when cfg.threads
+  runtime::Scheduler* sched_;  // the pool client tasks run on
+  metrics::BatchedEvaluator eval_;
+  ClientUpdateFn update_fn_;
+  long round_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<nn::Model>> pool_;  // free replicas
+  std::size_t pool_total_ = 0;                    // replicas ever created
+
+  // Stacked-evaluation scratch, reused across rounds.
+  Tensor stacked_w_, stacked_b_, stacked_y_;
+  bool stackable_ = false;  // computed once: the architecture never changes
+};
+
+}  // namespace goldfish::fl

@@ -1,0 +1,116 @@
+#include "fl/policies.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace goldfish::fl {
+
+namespace {
+
+/// Salt separating the participation-sampling RNG streams from the training
+/// and duration streams (all hash (seed, stream, step) through mix_seed).
+constexpr std::uint64_t kSamplingSalt = 0x2545F4914F6CDD1Dull;
+
+/// Salt of the virtual-duration streams. The constant is load-bearing: it is
+/// the salt the legacy FederatedSim::run_async used, so a VirtualClock built
+/// from the same FlConfig draws bit-identical durations and replays the
+/// legacy golden schedules exactly.
+constexpr std::uint64_t kDurationSalt = 0x517CC1B727220A95ull;
+
+}  // namespace
+
+SampledParticipation::SampledParticipation(double fraction,
+                                           std::uint64_t seed)
+    : fraction_(fraction), seed_(seed) {
+  GOLDFISH_CHECK(fraction > 0.0 && fraction <= 1.0,
+                 "sampling fraction must be in (0, 1]");
+}
+
+bool SampledParticipation::participates(std::size_t client, long version,
+                                        double) {
+  Rng rng(mix_seed(seed_ ^ kSamplingSalt, client,
+                   static_cast<std::uint64_t>(version)));
+  return double(rng.uniform()) < fraction_;
+}
+
+AvailabilityWindows::AvailabilityWindows(double period, double on_fraction,
+                                         double phase)
+    : period_(period), on_(on_fraction * period), phase_(phase) {
+  GOLDFISH_CHECK(period > 0.0, "availability period must be positive");
+  GOLDFISH_CHECK(on_fraction > 0.0 && on_fraction <= 1.0,
+                 "availability on_fraction must be in (0, 1]");
+}
+
+bool AvailabilityWindows::participates(std::size_t client, long,
+                                       double time) {
+  const double local = time + double(client) * phase_;
+  const double pos = local - std::floor(local / period_) * period_;
+  return pos < on_;
+}
+
+double AvailabilityWindows::retry_at(std::size_t client, long, double time) {
+  // participates() was just false, so `pos >= on_` and the next window
+  // opens one full period after the current one began (in the client's
+  // shifted frame, mapped back to global virtual time). The wake targets
+  // the *middle* of that window, not its leading edge: a wake landing
+  // exactly on the FP-rounded boundary could still see pos ≈ period (still
+  // off-window), recompute retry == now, and be dropped — half an
+  // on-window of margin makes the re-check robustly succeed.
+  const double local = time + double(client) * phase_;
+  const double window_start = std::floor(local / period_) * period_;
+  return window_start + period_ + 0.5 * on_ - double(client) * phase_;
+}
+
+AdaptiveBuffer::AdaptiveBuffer(long initial, long min_size, long max_size,
+                               long target_max_staleness)
+    : k_(initial), min_(min_size), max_(max_size),
+      target_(target_max_staleness) {
+  GOLDFISH_CHECK(min_size >= 1, "adaptive buffer min_size must be >= 1");
+  GOLDFISH_CHECK(min_size <= initial && initial <= max_size,
+                 "adaptive buffer needs min_size <= initial <= max_size");
+  GOLDFISH_CHECK(target_max_staleness >= 0,
+                 "adaptive buffer target staleness must be >= 0");
+}
+
+long AdaptiveBuffer::size(long agg, double, long prev_max_staleness,
+                          std::size_t) {
+  if (agg > 0) {
+    if (prev_max_staleness > target_)
+      k_ = std::min(k_ + 1, max_);
+    else if (prev_max_staleness == 0)
+      k_ = std::max(k_ - 1, min_);
+  }
+  return k_;
+}
+
+VirtualClock::VirtualClock(std::uint64_t seed, double mean,
+                           double log_jitter)
+    : seed_(seed), mean_(mean), jitter_(log_jitter) {
+  GOLDFISH_CHECK(mean > 0.0, "virtual-clock mean duration must be positive");
+}
+
+double VirtualClock::duration(std::size_t client, long index) {
+  // Bit-for-bit the legacy draw: one normal deviate from the per-(client,
+  // task) stream, widened to double only after the float math.
+  Rng rng(mix_seed(seed_ ^ kDurationSalt, client,
+                   static_cast<std::uint64_t>(index)));
+  return mean_ * std::exp(jitter_ * double(rng.normal()));
+}
+
+TraceClock::TraceClock(std::vector<std::vector<double>> traces)
+    : traces_(std::move(traces)) {
+  GOLDFISH_CHECK(!traces_.empty(), "trace clock needs at least one trace");
+  for (const auto& trace : traces_) {
+    GOLDFISH_CHECK(!trace.empty(), "trace clock: empty per-client trace");
+    for (double d : trace)
+      GOLDFISH_CHECK(d > 0.0, "trace clock: durations must be positive");
+  }
+}
+
+double TraceClock::duration(std::size_t client, long index) {
+  const auto& trace = traces_[client % traces_.size()];
+  return trace[static_cast<std::size_t>(index) % trace.size()];
+}
+
+}  // namespace goldfish::fl

@@ -1,0 +1,201 @@
+// Pluggable server policies for the event-driven fl::Engine: who trains
+// toward each server version (ParticipationPolicy), how many buffered
+// updates trigger an aggregation (BufferPolicy), and how long each local
+// training task takes on the virtual timeline (ClockPolicy).
+//
+// Determinism contract (what makes Engine runs bit-identical at any thread
+// count): every policy is consulted only while the Engine builds its event
+// schedule — before any training runs — and must be a pure function of its
+// arguments plus construction-time state. Policies must not read wall-clock
+// time, thread ids, or training results; stateful policies (AdaptiveBuffer)
+// may only depend on the sequence of calls the schedule builder makes, which
+// is itself deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace goldfish::fl {
+
+/// Decides whether a client trains toward a given server version. Consulted
+/// whenever a client is free: at run start, after each of its completions,
+/// and again for parked clients whenever the server version advances.
+class ParticipationPolicy {
+ public:
+  virtual ~ParticipationPolicy() = default;
+
+  /// Does `client` start a local-training task toward server `version` at
+  /// virtual time `time`? Must answer identically for identical arguments.
+  virtual bool participates(std::size_t client, long version,
+                            double time) = 0;
+
+  /// When a refused client should ask again without waiting for the version
+  /// to change: the next virtual time (> `time`) at which participates()
+  /// may flip to true, or a negative value when only a version change can
+  /// re-admit the client (the Engine re-checks every parked client after
+  /// each aggregation regardless).
+  virtual double retry_at(std::size_t client, long version, double time) {
+    (void)client;
+    (void)version;
+    (void)time;
+    return -1.0;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// Every client trains continuously — the legacy run_round / run_async
+/// behaviour.
+class FullParticipation final : public ParticipationPolicy {
+ public:
+  bool participates(std::size_t, long, double) override { return true; }
+  std::string name() const override { return "full"; }
+};
+
+/// Seeded uniform sampling per server version: client c is in version v's
+/// cohort with probability `fraction`, decided by a single draw from the
+/// collision-free mix_seed(seed, c, v) stream. Independent of time, event
+/// order, and thread count, so sampled runs are bit-reproducible.
+///
+/// Progress note: a version whose cohort happens to be empty cannot stall
+/// the server — when nothing is in flight and the buffer cannot fill, the
+/// Engine re-admits every parked client at that instant (documented in
+/// src/fl/README.md).
+class SampledParticipation final : public ParticipationPolicy {
+ public:
+  SampledParticipation(double fraction, std::uint64_t seed);
+
+  bool participates(std::size_t client, long version, double time) override;
+  std::string name() const override { return "sampled"; }
+
+ private:
+  double fraction_;
+  std::uint64_t seed_;
+};
+
+/// Periodic per-client availability windows in virtual time: client c is
+/// available while fmod(time + c·phase, period) < on_fraction·period —
+/// a crude model of devices that are only reachable while charging/idle.
+/// Refusals schedule a wake inside the client's next window (at its
+/// midpoint, which is robust to floating-point boundary rounding).
+class AvailabilityWindows final : public ParticipationPolicy {
+ public:
+  /// `period` > 0; `on_fraction` in (0, 1]; `phase` staggers clients so the
+  /// federation is never synchronously offline.
+  AvailabilityWindows(double period, double on_fraction, double phase);
+
+  bool participates(std::size_t client, long version, double time) override;
+  double retry_at(std::size_t client, long version, double time) override;
+  std::string name() const override { return "windows"; }
+
+ private:
+  double period_;
+  double on_;  // on_fraction · period
+  double phase_;
+};
+
+/// Decides the buffer size K for each aggregation. Called once per
+/// aggregation index, in order, while the schedule is built.
+class BufferPolicy {
+ public:
+  virtual ~BufferPolicy() = default;
+
+  /// K for aggregation `agg` (0-based). `prev_mean_staleness` and
+  /// `prev_max_staleness` describe the updates consumed by aggregation
+  /// agg−1 (both 0 for agg 0); `active_clients` is the current federation
+  /// size after joins/leaves. Must return ≥ 1 (the Engine clamps).
+  virtual long size(long agg, double prev_mean_staleness,
+                    long prev_max_staleness, std::size_t active_clients) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Fixed K; 0 means "all currently active clients" (the synchronous round).
+class FixedBuffer final : public BufferPolicy {
+ public:
+  explicit FixedBuffer(long k) : k_(k) {}
+
+  long size(long, double, long, std::size_t active_clients) override {
+    return k_ > 0 ? k_ : static_cast<long>(active_clients);
+  }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  long k_;
+};
+
+/// Adaptive K(t) driven by observed staleness: when the previous buffer
+/// consumed an update more than `target_max_staleness` versions stale, grow
+/// K by one (fewer version bumps per unit time → less lag for stragglers);
+/// when every consumed update was fresh, shrink K by one (aggregate more
+/// often → faster model refresh). K stays within [min_size, max_size].
+class AdaptiveBuffer final : public BufferPolicy {
+ public:
+  AdaptiveBuffer(long initial, long min_size, long max_size,
+                 long target_max_staleness = 1);
+
+  long size(long agg, double prev_mean_staleness, long prev_max_staleness,
+            std::size_t active_clients) override;
+  std::string name() const override { return "adaptive"; }
+
+  long current() const { return k_; }
+
+ private:
+  long k_;
+  long min_;
+  long max_;
+  long target_;
+};
+
+/// Supplies the virtual duration of each local-training task. `index` is the
+/// client's per-run task sequence number (its RNG stream step).
+class ClockPolicy {
+ public:
+  virtual ~ClockPolicy() = default;
+
+  /// Duration (> 0) of client `client`'s `index`-th task. Pure function of
+  /// its arguments and construction-time state.
+  virtual double duration(std::size_t client, long index) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The deterministic virtual clock (the legacy run_async behaviour):
+/// duration = mean · exp(log_jitter · N(0,1)), drawn from the seeded
+/// per-(client, task) stream mix_seed(seed ^ salt, client, index). With
+/// log_jitter = 0 every task takes exactly `mean`, which reproduces the
+/// synchronous schedule.
+class VirtualClock final : public ClockPolicy {
+ public:
+  VirtualClock(std::uint64_t seed, double mean, double log_jitter);
+
+  double duration(std::size_t client, long index) override;
+  std::string name() const override { return "virtual"; }
+
+ private:
+  std::uint64_t seed_;
+  double mean_;
+  double jitter_;
+};
+
+/// Wall-clock replay: per-client measured task durations (e.g. recorded
+/// from a real deployment trace), replayed cyclically — task `index` of
+/// client c takes traces[c % traces.size()][index % trace.size()]. The
+/// timeline stays virtual (and therefore thread-count independent); only
+/// the durations come from measurements.
+class TraceClock final : public ClockPolicy {
+ public:
+  explicit TraceClock(std::vector<std::vector<double>> traces);
+
+  double duration(std::size_t client, long index) override;
+  std::string name() const override { return "trace"; }
+
+ private:
+  std::vector<std::vector<double>> traces_;
+};
+
+}  // namespace goldfish::fl

@@ -1,518 +1,59 @@
 #include "fl/simulation.h"
 
-#include <algorithm>
-#include <atomic>
-#include <cmath>
-#include <cstring>
-#include <queue>
-#include <tuple>
-
-#include "runtime/gemm.h"
-#include "tensor/ops.h"
-#include "tensor/serialize.h"
-
 namespace goldfish::fl {
 
-FederatedSim::FederatedSim(nn::Model global,
-                           std::vector<data::Dataset> client_data,
-                           data::Dataset server_test, FlConfig cfg)
-    : global_(std::move(global)),
-      replica_template_(global_),
-      clients_(std::move(client_data)),
-      test_(std::move(server_test)),
-      cfg_(std::move(cfg)),
-      aggregator_(make_aggregator(cfg_.aggregator)),
-      sched_(&runtime::scheduler_for(cfg_.threads, owned_sched_)),
-      eval_(test_, cfg_.eval_batch) {
-  GOLDFISH_CHECK(!clients_.empty(), "simulation needs clients");
-  GOLDFISH_CHECK(!test_.empty(), "simulation needs a server test set");
-  if (cfg_.async.staleness_alpha > 0.0)
-    staleness_aggregator_ = std::make_unique<StalenessAggregator>(
-        make_aggregator(cfg_.aggregator), cfg_.async.staleness_alpha);
-  stackable_ = stackable_mlp();
-  // Default behaviour: Algorithm 1's LocalTraining. Each (client, round)
-  // pair gets its own RNG stream via the collision-free splitmix mix.
-  update_fn_ = [this](std::size_t cid, nn::Model& model,
-                      const data::Dataset& ds, long round) {
-    TrainOptions opts = cfg_.local;
-    opts.seed = mix_seed(cfg_.seed, cid, static_cast<std::uint64_t>(round));
-    train_local(model, ds, opts);
-  };
+namespace {
+
+RoundResult to_round_result(const StepResult& s, long round_base) {
+  RoundResult r;
+  r.round = round_base + s.step;
+  r.global_accuracy = s.global_accuracy;
+  r.min_local_accuracy = s.min_local_accuracy;
+  r.max_local_accuracy = s.max_local_accuracy;
+  r.mean_local_accuracy = s.mean_local_accuracy;
+  r.bytes_uplinked = s.bytes_uplinked;
+  return r;
 }
 
-FederatedSim::ModelLease::ModelLease(FederatedSim& sim) : sim_(sim) {
-  {
-    std::lock_guard<std::mutex> lock(sim_.pool_mu_);
-    if (!sim_.pool_.empty()) {
-      model_ = std::move(sim_.pool_.back());
-      sim_.pool_.pop_back();
-      return;
-    }
-    ++sim_.pool_total_;
-  }
-  // First time this concurrency depth is reached (at most the scheduler's
-  // parallelism): seed a fresh replica. Every later lease reuses it. Cloned
-  // from the immutable template, not global_: run_async writes global_
-  // while worker-thread leases may still be growing the pool.
-  model_ = std::make_unique<nn::Model>(sim_.replica_template_);
+AsyncRoundResult to_async_result(const StepResult& s) {
+  AsyncRoundResult r;
+  r.agg = s.step;
+  r.virtual_time = s.virtual_time;
+  r.global_accuracy = s.global_accuracy;
+  r.mean_staleness = s.mean_staleness;
+  r.max_staleness = s.max_staleness;
+  r.updates_consumed = s.updates_consumed;
+  r.dropped_updates = s.dropped_updates;
+  r.bytes_uplinked = s.bytes_uplinked;
+  return r;
 }
 
-FederatedSim::ModelLease::~ModelLease() {
-  std::lock_guard<std::mutex> lock(sim_.pool_mu_);
-  sim_.pool_.push_back(std::move(model_));
-}
-
-void FederatedSim::set_client_data(std::size_t c, data::Dataset ds) {
-  GOLDFISH_CHECK(c < clients_.size(), "client id out of range");
-  clients_[c] = std::move(ds);
-}
-
-bool FederatedSim::stackable_mlp() const {
-  // The `mlp<h>` factory family: Sequential[Linear → ReLU → Linear], whose
-  // parameters are exactly [W1 (h,D), b1 (h), W2 (K,h), b2 (K)]. Anything
-  // else (conv nets, deeper stacks) evaluates per client through the pool.
-  if (global_.arch_name().rfind("mlp", 0) != 0) return false;
-  const auto ps = global_.params();
-  if (ps.size() != 4) return false;
-  return ps[0].value->rank() == 2 && ps[1].value->rank() == 1 &&
-         ps[2].value->rank() == 2 && ps[3].value->rank() == 1 &&
-         ps[0].value->dim(0) == ps[1].value->dim(0) &&
-         ps[2].value->dim(1) == ps[0].value->dim(0) &&
-         ps[2].value->dim(0) == ps[3].value->dim(0);
-}
-
-void FederatedSim::stacked_local_accuracy(
-    const std::vector<ClientUpdate>& updates, std::vector<double>& local_acc) {
-  const long n = static_cast<long>(updates.size());
-  const long h = updates[0].params[0].dim(0);   // hidden width per client
-  const long d = updates[0].params[0].dim(1);   // input features
-  const long k = updates[0].params[2].dim(0);   // classes
-  const long nh = n * h;
-
-  // Concatenate every client's hidden layer: rows [c·h, (c+1)·h) of the
-  // stacked weight matrix are client c's W1.
-  stacked_w_.resize_uninit({nh, d});
-  stacked_b_.resize_uninit({nh});
-  for (long c = 0; c < n; ++c) {
-    const Tensor& w1 = updates[static_cast<std::size_t>(c)].params[0];
-    const Tensor& b1 = updates[static_cast<std::size_t>(c)].params[1];
-    std::memcpy(stacked_w_.data() + c * h * d, w1.data(),
-                static_cast<std::size_t>(h * d) * sizeof(float));
-    std::memcpy(stacked_b_.data() + c * h, b1.data(),
-                static_cast<std::size_t>(h) * sizeof(float));
-  }
-
-  const long rows_total = test_.size();
-  // Bound the stacked activation block (chunk × C·h floats) when no explicit
-  // evaluation batch is configured.
-  long chunk = cfg_.eval_batch;
-  if (chunk == 0 && rows_total * nh > (1L << 24))
-    chunk = std::max(256L, (1L << 24) / nh);
-  if (chunk == 0 || chunk > rows_total) chunk = rows_total;
-
-  std::vector<long> correct(static_cast<std::size_t>(n), 0);
-  for (long lo = 0; lo < rows_total; lo += chunk) {
-    const long hi = std::min(rows_total, lo + chunk);
-    const long rows = hi - lo;
-    const bool whole = lo == 0 && hi == rows_total;
-    Tensor x_chunk;
-    const long* y;
-    if (whole) {
-      y = test_.labels.data();
-    } else {
-      auto view = test_.batch_view(lo, hi);
-      x_chunk = std::move(view.first);
-      y = view.second;
-    }
-    const Tensor& x = whole ? test_.features : x_chunk;
-    // All clients' hidden activations in one fused GEMM: relu(x·Wᵀ + b),
-    // exactly the peepholed Linear→ReLU forward, column block c = client c.
-    gemm_fused_into(stacked_y_, x, stacked_w_, false, true,
-                    runtime::Epilogue::kBiasColRelu, stacked_b_);
-    // Each client's logits head reads its strided slice of the block.
-    sched_->parallel_map(static_cast<std::size_t>(n), [&](std::size_t c) {
-      const Tensor& w2 = updates[c].params[2];
-      const Tensor& b2 = updates[c].params[3];
-      Tensor logits = Tensor::uninit({rows, k});
-      runtime::sgemm(false, true, rows, k, h,
-                     stacked_y_.data() + static_cast<long>(c) * h, nh,
-                     w2.data(), h, logits.data(), k, /*beta=*/0.0f,
-                     runtime::Epilogue::kBiasCol, b2.data());
-      correct[c] += metrics::correct_predictions(logits, y, rows);
-    });
-  }
-  for (long c = 0; c < n; ++c)
-    local_acc[static_cast<std::size_t>(c)] =
-        100.0 * double(correct[static_cast<std::size_t>(c)]) /
-        double(rows_total);
-}
+}  // namespace
 
 RoundResult FederatedSim::run_round() {
-  const std::size_t n = clients_.size();
-  std::vector<ClientUpdate> updates(n);
-  std::vector<double> local_acc(n, 0.0);
-  std::atomic<std::size_t> bytes{0};
-  const bool stacked = stackable_;
-
-  sched_->parallel_map(n, [&](std::size_t c) {
-    ModelLease lease(*this);
-    nn::Model& local = lease.get();
-    local.copy_from(global_);  // broadcast: in-place copy over pooled storage
-    update_fn_(c, local, clients_[c], round_);
-    // Upload path: serialize → wire → deserialize, counting bytes.
-    std::size_t wire = 0;
-    updates[c].params = roundtrip_through_bytes(local.snapshot(), &wire);
-    updates[c].dataset_size = clients_[c].size();
-    bytes.fetch_add(wire, std::memory_order_relaxed);
-    // Batched client evaluation happens after the barrier when the family
-    // supports weight stacking; otherwise evaluate with the leased model.
-    if (!stacked) local_acc[c] = eval_.accuracy(local);
-  });
-
-  if (stacked) stacked_local_accuracy(updates, local_acc);
-
-  // Server-side MSE scoring (Eq. 12 operates on the server's test set).
-  if (aggregator_->needs_mse()) {
-    sched_->parallel_map(n, [&](std::size_t c) {
-      ModelLease lease(*this);
-      nn::Model& scratch = lease.get();
-      scratch.load(updates[c].params);  // load covers every parameter
-      updates[c].mse = eval_.mse(scratch);
-    });
-  }
-
-  global_.load(aggregator_->aggregate(updates));
-
-  RoundResult r;
-  r.round = round_++;
-  r.global_accuracy = eval_.accuracy(global_);
-  r.bytes_uplinked = bytes.load();
-  r.min_local_accuracy = *std::min_element(local_acc.begin(), local_acc.end());
-  r.max_local_accuracy = *std::max_element(local_acc.begin(), local_acc.end());
-  double mean = 0.0;
-  for (double a : local_acc) mean += a;
-  r.mean_local_accuracy = mean / double(n);
-  return r;
+  RoundResult out;
+  const long base = engine_.rounds_completed();
+  engine_.run(engine_.sync_scenario(1),
+              [&](const StepResult& s) { out = to_round_result(s, base); });
+  return out;
 }
 
 std::vector<RoundResult> FederatedSim::run(long rounds) {
   std::vector<RoundResult> out;
   out.reserve(static_cast<std::size_t>(rounds));
-  for (long i = 0; i < rounds; ++i) out.push_back(run_round());
+  const long base = engine_.rounds_completed();
+  engine_.run(engine_.sync_scenario(rounds), [&](const StepResult& s) {
+    out.push_back(to_round_result(s, base));
+  });
   return out;
 }
 
-// -- buffered-asynchronous execution ---------------------------------------
-
-namespace {
-
-/// Salt separating the virtual-duration RNG streams from the training ones
-/// (both hash (seed, client, index) through mix_seed).
-constexpr std::uint64_t kDurationSalt = 0x517CC1B727220A95ull;
-
-/// One planned local-training execution on the virtual timeline.
-struct TaskPlan {
-  std::size_t client = 0;
-  long index = 0;         ///< per-client sequence number (RNG stream step)
-  long from_version = 0;  ///< server version the client downloaded
-  int epoch = 0;          ///< which of the client's datasets it trains on
-  double finish = 0.0;
-  long staleness = 0;     ///< server lag when consumed
-  long consumed_by = -1;  ///< aggregation index; -1 = dropped / never used
-};
-
-/// One planned buffer aggregation: the K task ids it consumes, in arrival
-/// order (virtual time, client id).
-struct AggPlan {
-  double time = 0.0;
-  std::vector<std::size_t> tasks;
-  long dropped_so_far = 0;
-};
-
-struct AsyncSchedule {
-  std::vector<TaskPlan> tasks;
-  std::vector<AggPlan> aggs;
-  /// Max tasks any one client started: how many (client, round) RNG steps
-  /// the run consumed. Fast clients lap the aggregation count, so advancing
-  /// the sim's round counter by less than this would hand later rounds
-  /// already-used training streams.
-  long rounds_consumed = 0;
-};
-
-/// Phase A: simulate the virtual clock. Durations depend only on the seeded
-/// RNG — never on training results — so the complete event order (which
-/// updates fill which buffer, every staleness value, every deletion
-/// eviction) is fixed here, before any training runs. Execution then only
-/// has to respect the data dependencies this plan encodes, which is what
-/// makes the asynchronous mode bit-identical at any thread count.
-AsyncSchedule build_async_schedule(std::size_t n, long aggregations, long k,
-                                   const FlConfig& cfg,
-                                   const std::vector<AsyncDeletion>& dels) {
-  AsyncSchedule plan;
-  std::vector<long> next_index(n, 0);
-  std::vector<int> epoch(n, 0);
-  // A client has at most one task in flight; `poisoned` marks an in-flight
-  // task whose training data has since had rows deleted.
-  std::vector<bool> poisoned(n, false);
-  std::vector<bool> in_flight(n, false);
-  std::vector<std::size_t> buffer;
-  long server_version = 0;
-  long dropped = 0;
-
-  // Min-heap of completions keyed (finish time, client id, task id); the
-  // client id breaks virtual-time ties deterministically.
-  using Event = std::tuple<double, std::size_t, std::size_t>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
-
-  const auto start_task = [&](std::size_t c, double now) {
-    TaskPlan tp;
-    tp.client = c;
-    tp.index = next_index[c]++;
-    tp.from_version = server_version;
-    tp.epoch = epoch[c];
-    Rng rng(mix_seed(cfg.seed ^ kDurationSalt, c,
-                     static_cast<std::uint64_t>(tp.index)));
-    tp.finish = now + cfg.async.mean_duration *
-                          std::exp(cfg.async.duration_log_jitter *
-                                   double(rng.normal()));
-    in_flight[c] = true;
-    events.emplace(tp.finish, c, plan.tasks.size());
-    plan.tasks.push_back(tp);
-  };
-
-  for (std::size_t c = 0; c < n; ++c) start_task(c, 0.0);
-
-  std::size_t next_del = 0;
-  const auto apply_deletion = [&](const AsyncDeletion& d) {
-    ++epoch[d.client];
-    // Evict the client's buffered updates: they trained on deleted rows.
-    auto evicted = std::remove_if(
-        buffer.begin(), buffer.end(), [&](std::size_t id) {
-          return plan.tasks[id].client == d.client;
-        });
-    dropped += buffer.end() - evicted;
-    buffer.erase(evicted, buffer.end());
-    // Its in-flight task (if any) is void on arrival.
-    if (in_flight[d.client]) poisoned[d.client] = true;
-  };
-
-  while (static_cast<long>(plan.aggs.size()) < aggregations) {
-    GOLDFISH_CHECK(!events.empty(), "async schedule ran out of events");
-    const double now = std::get<0>(events.top());
-    // A deletion at time T takes effect before any completion at ≥ T.
-    while (next_del < dels.size() && dels[next_del].time <= now)
-      apply_deletion(dels[next_del++]);
-    // Same-timestamp completions are buffered as a batch (client-id order)
-    // before any of those clients re-downloads; this is the tie-break that
-    // makes the jitter-free K = n schedule identical to synchronous rounds.
-    std::vector<std::size_t> batch;
-    while (!events.empty() && std::get<0>(events.top()) == now) {
-      batch.push_back(std::get<2>(events.top()));
-      events.pop();
-    }
-    for (std::size_t id : batch) {
-      TaskPlan& tp = plan.tasks[id];
-      in_flight[tp.client] = false;
-      if (poisoned[tp.client]) {
-        poisoned[tp.client] = false;
-        ++dropped;
-        continue;
-      }
-      buffer.push_back(id);
-      if (static_cast<long>(buffer.size()) == k) {
-        AggPlan ap;
-        ap.time = now;
-        for (std::size_t bid : buffer) {
-          plan.tasks[bid].staleness =
-              server_version - plan.tasks[bid].from_version;
-          plan.tasks[bid].consumed_by =
-              static_cast<long>(plan.aggs.size());
-        }
-        ap.tasks = std::move(buffer);
-        buffer.clear();
-        ap.dropped_so_far = dropped;
-        ++server_version;
-        plan.aggs.push_back(std::move(ap));
-        if (static_cast<long>(plan.aggs.size()) == aggregations) break;
-      }
-    }
-    if (static_cast<long>(plan.aggs.size()) == aggregations) break;
-    // Every completed client re-downloads the current model and trains on.
-    for (std::size_t id : batch)
-      if (!in_flight[plan.tasks[id].client])
-        start_task(plan.tasks[id].client, now);
-  }
-  // Deletions beyond the run's horizon still replace the client's data
-  // before run_async returns (there is no later virtual time to wait for).
-  while (next_del < dels.size()) apply_deletion(dels[next_del++]);
-  plan.rounds_consumed =
-      *std::max_element(next_index.begin(), next_index.end());
-  return plan;
-}
-
-}  // namespace
-
 std::vector<AsyncRoundResult> FederatedSim::run_async(
     long aggregations, std::vector<AsyncDeletion> deletions) {
-  GOLDFISH_CHECK(aggregations >= 0, "negative aggregation count");
-  const std::size_t n = clients_.size();
-  long k = cfg_.async.buffer_size;
-  if (k <= 0) k = static_cast<long>(n);
-  GOLDFISH_CHECK(cfg_.async.mean_duration > 0.0,
-                 "async mean_duration must be positive");
-  std::vector<bool> has_deletion(n, false);
-  for (const AsyncDeletion& d : deletions) {
-    GOLDFISH_CHECK(d.client < n, "deletion for unknown client");
-    GOLDFISH_CHECK(!d.new_data.empty(),
-                   "deletion would leave a client without data");
-    // Each event carries the client's *entire* remaining dataset, split from
-    // the pre-run data (core::make_async_deletion): a second event for the
-    // same client would have been split from that same pre-run data too and
-    // silently resurrect the first event's deleted rows. Issue follow-up
-    // deletions in a later run_async, where the split sees the shrunk data.
-    GOLDFISH_CHECK(!has_deletion[d.client],
-                   "multiple deletions for one client in a single "
-                   "run_async; split them across runs");
-    has_deletion[d.client] = true;
-  }
-  std::stable_sort(deletions.begin(), deletions.end(),
-                   [](const AsyncDeletion& a, const AsyncDeletion& b) {
-                     return a.time != b.time ? a.time < b.time
-                                             : a.client < b.client;
-                   });
-
-  const AsyncSchedule plan =
-      build_async_schedule(n, aggregations, k, cfg_, deletions);
-
-  // Per-client dataset epochs: 0 = the current data, 1.. = post-deletion.
-  std::vector<std::vector<const data::Dataset*>> epoch_data(n);
-  for (std::size_t c = 0; c < n; ++c) epoch_data[c].push_back(&clients_[c]);
-  for (const AsyncDeletion& d : deletions)
-    epoch_data[d.client].push_back(&d.new_data);
-
-  // Group the *consumed* tasks by the server version they download;
-  // everything else (deletion-voided or past the horizon) never executes.
-  const std::size_t num_tasks = plan.tasks.size();
-  std::vector<std::vector<std::size_t>> by_version(
-      static_cast<std::size_t>(aggregations) + 1);
-  std::vector<std::atomic<long>> version_refs(
-      static_cast<std::size_t>(aggregations) + 1);
-  for (std::size_t id = 0; id < num_tasks; ++id) {
-    const TaskPlan& tp = plan.tasks[id];
-    if (tp.consumed_by < 0) continue;
-    by_version[static_cast<std::size_t>(tp.from_version)].push_back(id);
-    version_refs[static_cast<std::size_t>(tp.from_version)].fetch_add(
-        1, std::memory_order_relaxed);
-  }
-
-  // Version v's parameters live until the last task downloading them has
-  // broadcast (the releasing task parks the storage back in the recycler).
-  std::vector<std::vector<Tensor>> version_params(
-      static_cast<std::size_t>(aggregations) + 1);
-  std::vector<std::future<void>> futures(num_tasks);
-  std::vector<ClientUpdate> task_updates(num_tasks);
-  std::vector<std::size_t> wire_bytes(num_tasks, 0);
-  const long round_base = round_;
-
-  const auto submit_version = [&](std::size_t v) {
-    if (version_refs[v].load(std::memory_order_relaxed) == 0) {
-      version_params[v].clear();  // nobody downloads this version
-      return;
-    }
-    for (std::size_t id : by_version[v]) {
-      futures[id] = sched_->submit([this, id, &plan, &epoch_data,
-                                    &version_params, &version_refs,
-                                    &task_updates, &wire_bytes, round_base] {
-        const TaskPlan& tp = plan.tasks[id];
-        const std::size_t v = static_cast<std::size_t>(tp.from_version);
-        ModelLease lease(*this);
-        nn::Model& local = lease.get();
-        // Broadcast: load version v's parameters and zero the gradient
-        // accumulators (exactly what copy_from does in the sync round).
-        local.load(version_params[v]);
-        local.zero_grad();
-        if (version_refs[v].fetch_sub(1, std::memory_order_acq_rel) == 1)
-          version_params[v].clear();
-        const data::Dataset& ds =
-            *epoch_data[tp.client][static_cast<std::size_t>(tp.epoch)];
-        update_fn_(tp.client, local, ds, round_base + tp.index);
-        std::size_t wire = 0;
-        task_updates[id].params =
-            roundtrip_through_bytes(local.snapshot(), &wire);
-        task_updates[id].dataset_size = ds.size();
-        task_updates[id].staleness = tp.staleness;
-        wire_bytes[id] = wire;
-      });
-    }
-  };
-
-  const Aggregator& agg =
-      staleness_aggregator_ ? *staleness_aggregator_ : *aggregator_;
   std::vector<AsyncRoundResult> out;
   out.reserve(static_cast<std::size_t>(aggregations));
-  version_params[0] = global_.snapshot();
-  submit_version(0);
-
-  try {
-    for (long a = 0; a < aggregations; ++a) {
-      const AggPlan& ap = plan.aggs[static_cast<std::size_t>(a)];
-      // Consume the buffer in its deterministic arrival order. Draining
-      // participates in the scheduler's queue, so this never deadlocks —
-      // even at parallelism 1 the waiter executes the tasks itself.
-      std::vector<ClientUpdate> updates;
-      updates.reserve(ap.tasks.size());
-      AsyncRoundResult r;
-      for (std::size_t id : ap.tasks) {
-        sched_->drain_until_ready(futures[id]);
-        futures[id].get();  // rethrows task failures
-        updates.push_back(std::move(task_updates[id]));
-        r.bytes_uplinked += wire_bytes[id];
-        r.mean_staleness += double(plan.tasks[id].staleness);
-        r.max_staleness = std::max(r.max_staleness, plan.tasks[id].staleness);
-      }
-      if (agg.needs_mse()) {
-        sched_->parallel_map(updates.size(), [&](std::size_t i) {
-          ModelLease lease(*this);
-          nn::Model& scratch = lease.get();
-          scratch.load(updates[i].params);
-          updates[i].mse = eval_.mse(scratch);
-        });
-      }
-      std::vector<Tensor> merged = agg.aggregate(updates);
-      global_.load(merged);
-      version_params[static_cast<std::size_t>(a) + 1] = std::move(merged);
-      submit_version(static_cast<std::size_t>(a) + 1);
-
-      r.agg = a;
-      r.virtual_time = ap.time;
-      r.global_accuracy = eval_.accuracy(global_);
-      r.mean_staleness /= double(ap.tasks.size());
-      r.updates_consumed = static_cast<long>(ap.tasks.size());
-      r.dropped_updates = ap.dropped_so_far;
-      out.push_back(r);
-    }
-  } catch (...) {
-    // A failed client task must not leave siblings running against local
-    // state that is about to be destroyed; wait them out, then rethrow.
-    for (std::future<void>& f : futures)
-      if (f.valid()) {
-        sched_->drain_until_ready(f);
-        try {
-          f.get();
-        } catch (...) {
-        }
-      }
-    throw;
-  }
-
-  // Subsequent rounds (and their RNG streams) continue after every stream
-  // this run touched — fast clients consume more task indices than there
-  // were aggregations, so the aggregation count alone would under-advance.
-  round_ += plan.rounds_consumed;
-  // Deletions take durable effect: later rounds train on the remaining
-  // data. Applied in (time, client) order, so a client's last deletion wins.
-  for (AsyncDeletion& d : deletions)
-    clients_[d.client] = std::move(d.new_data);
+  engine_.run(engine_.async_scenario(aggregations, std::move(deletions)),
+              [&](const StepResult& s) { out.push_back(to_async_result(s)); });
   return out;
 }
 

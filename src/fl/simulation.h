@@ -1,68 +1,27 @@
-// In-process federated learning simulation: a server, C clients, synchronous
-// rounds, pluggable client update logic and aggregation. Client uploads pass
-// through real (de)serialization so the wire path is exercised and byte
-// counts are measurable.
+// The classic federated-simulation entry points, kept as a thin facade over
+// the event-driven fl::Engine (fl/engine.h).
 //
-// The round loop is allocation-free at steady state: client models come from
-// a pool of replicas (broadcast is an in-place copy_from of the global
-// parameters, not a deep copy), every layer writes into its model's
-// Workspace arena, the wire path reuses per-thread buffers, evaluation runs
-// the stacked server test set through each model in large contiguous
-// batches, and remaining tensor temporaries are recycled by a
-// BufferPoolScope held for the simulation's lifetime. Results are
-// bit-identical to the historical allocate-per-round path at any thread
-// count (tests/fl_test.cpp pins this against a verbatim reference round).
+// Each legacy entry point is a canned Scenario + policy bundle:
+//
+//   run_round / run(n)  →  Engine::sync_scenario: full participation,
+//                          K = all active clients, constant durations, no
+//                          staleness decay, local-accuracy telemetry.
+//   run_async           →  Engine::async_scenario: full participation,
+//                          fixed K = cfg.async.buffer_size, the seeded
+//                          log-normal VirtualClock, (1+s)^−α decay, and the
+//                          deletions mapped onto the scenario timeline.
+//
+// Results are bit-identical to the historical hardcoded loops at any thread
+// count (pinned by tests/fl_test.cpp, tests/async_round_test.cpp and
+// tests/zero_alloc_round_test.cpp against verbatim legacy references).
+// Scenarios beyond these bundles — client sampling, adaptive buffers,
+// availability windows, joins/leaves, aggregator swaps, wall-clock traces —
+// are composed directly on the Engine (see src/fl/README.md).
 #pragma once
 
-#include <functional>
-#include <memory>
-#include <mutex>
-
-#include "fl/aggregation.h"
-#include "fl/trainer.h"
-#include "metrics/evaluation.h"
-#include "runtime/scheduler.h"
-#include "tensor/buffer_pool.h"
+#include "fl/engine.h"
 
 namespace goldfish::fl {
-
-/// Buffered-asynchronous execution knobs (FederatedSim::run_async): a
-/// FedBuff-style semi-asynchronous server driven by a deterministic virtual
-/// clock. Clients train continuously as independent tasks; the server
-/// aggregates whenever `buffer_size` updates have arrived, discounting each
-/// update by its staleness.
-struct AsyncFlConfig {
-  /// Updates buffered before the server aggregates (K). 0 → num_clients.
-  long buffer_size = 0;
-  /// Staleness decay exponent α: an update s server-versions stale is
-  /// weighted by (1+s)^−α on top of the base aggregator's weight (composes
-  /// with fedavg/uniform/adaptive). 0 disables decay.
-  double staleness_alpha = 0.5;
-  /// Mean virtual duration of one local-training task.
-  double mean_duration = 1.0;
-  /// Log-normal spread of task durations: duration = mean·exp(j·N(0,1)),
-  /// drawn from the seeded RNG per (client, task). 0 → every task takes
-  /// exactly mean_duration, which reproduces the synchronous schedule.
-  double duration_log_jitter = 0.25;
-};
-
-struct FlConfig {
-  TrainOptions local;                ///< per-round local training options
-  std::string aggregator = "fedavg"; ///< "fedavg" | "uniform" | "adaptive"
-  /// 0 → share the process-wide runtime Scheduler (the normal case; client
-  /// tasks and the kernels inside them draw from one pool). Non-zero → a
-  /// private Scheduler with that parallelism for *client-level* tasks only;
-  /// kernels inside them still use the global pool, so to pin the whole
-  /// process set GOLDFISH_THREADS instead.
-  std::size_t threads = 0;
-  /// Rows per server-side evaluation batch; 0 (default) auto-bounds the
-  /// chunk (~2^21 input floats; sets below that run as one fused forward
-  /// pass per model). Accuracy/MSE are bit-identical for any value.
-  long eval_batch = 0;
-  std::uint64_t seed = 7;
-  /// Buffered-asynchronous mode parameters (only read by run_async).
-  AsyncFlConfig async;
-};
 
 /// Telemetry for one synchronous round.
 struct RoundResult {
@@ -88,137 +47,75 @@ struct AsyncRoundResult {
   std::size_t bytes_uplinked = 0;  ///< wire bytes of the consumed updates
 };
 
-/// A deletion request arriving mid-run at a virtual time: at `time`, the
-/// client's local data is replaced by `new_data` (its remaining rows D_r),
-/// any of its updates still sitting in the server's buffer are evicted, and
-/// its in-flight task is voided on completion — both were trained on data
-/// that now includes deleted rows, and must never reach an aggregation.
-/// Updates aggregated *before* `time` are history; undoing their influence
-/// is the unlearner's job (core/unlearner.h builds these events).
-struct AsyncDeletion {
-  double time = 0.0;
-  std::size_t client = 0;
-  data::Dataset new_data;
-};
+/// The engine's DeletionEvent under its historical name: a deletion request
+/// arriving mid-run at a virtual time (see fl/engine.h for the semantics;
+/// core/unlearner.h builds these events).
+using AsyncDeletion = DeletionEvent;
 
 class FederatedSim {
  public:
   /// The per-client update: receives a local model already initialized from
   /// the current global parameters, trains it, and returns nothing (the sim
   /// snapshots the model afterwards). `round` is the global round index.
-  using ClientUpdateFn = std::function<void(
-      std::size_t client_id, nn::Model& local_model,
-      const data::Dataset& local_data, long round)>;
+  using ClientUpdateFn = Engine::ClientUpdateFn;
 
   FederatedSim(nn::Model global, std::vector<data::Dataset> client_data,
-               data::Dataset server_test, FlConfig cfg);
+               data::Dataset server_test, FlConfig cfg)
+      : engine_(std::move(global), std::move(client_data),
+                std::move(server_test), std::move(cfg)) {}
 
   /// Replace the default (plain LocalTraining) client update.
-  void set_client_update(ClientUpdateFn fn) { update_fn_ = std::move(fn); }
+  void set_client_update(ClientUpdateFn fn) {
+    engine_.set_client_update(std::move(fn));
+  }
 
   /// Execute one synchronous round: pooled broadcast → parallel local
   /// updates → serialize/upload → (adaptive: server-side MSE scoring) →
-  /// aggregate.
+  /// aggregate. A one-aggregation sync scenario on the engine.
   RoundResult run_round();
 
-  /// Run `rounds` rounds, collecting telemetry.
+  /// Run `rounds` rounds, collecting telemetry (one sync scenario).
   std::vector<RoundResult> run(long rounds);
 
   /// Buffered-asynchronous execution (FedBuff-style): clients train
   /// continuously as independent Scheduler tasks; the server aggregates
-  /// whenever K = cfg.async.buffer_size updates have arrived, weighting each
-  /// by its base aggregator weight × (1+staleness)^−α. Runs until
-  /// `aggregations` buffers have been consumed.
-  ///
-  /// Determinism: completion order is governed by a virtual clock — task
-  /// durations are drawn from the seeded RNG, completions are processed in
-  /// (virtual time, client id) order, and same-timestamp completions are
-  /// buffered before any of those clients re-downloads — so results are
-  /// bit-identical at any thread count. With K = num_clients and
+  /// whenever K = cfg.async.buffer_size updates have arrived, weighting
+  /// each by its base aggregator weight × (1+staleness)^−α. Runs until
+  /// `aggregations` buffers have been consumed. With K = num_clients and
   /// duration_log_jitter = 0 the schedule degenerates to the synchronous
-  /// one: every aggregation consumes exactly one fresh update per client, in
-  /// client order, matching run_round bit for bit (with α > 0 the staleness
-  /// factor is exactly 1 for fresh updates).
+  /// one and matches run_round bit for bit.
   ///
-  /// `deletions` inject unlearning requests mid-run (see AsyncDeletion);
+  /// `deletions` inject unlearning requests mid-run (see DeletionEvent);
   /// they must be the client's *remaining* data and take effect at their
   /// virtual time, evicting the client's pending/in-flight updates. After
-  /// the run, clients_ reflects the post-deletion datasets.
+  /// the run, client_data() reflects the post-deletion datasets.
   std::vector<AsyncRoundResult> run_async(
       long aggregations, std::vector<AsyncDeletion> deletions = {});
 
-  nn::Model& global_model() { return global_; }
-  const data::Dataset& server_test() const { return test_; }
+  /// The engine underneath, for scenarios beyond the canned bundles
+  /// (sampling, adaptive buffers, joins/leaves, aggregator swaps, traces).
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+
+  nn::Model& global_model() { return engine_.global_model(); }
+  const data::Dataset& server_test() const { return engine_.server_test(); }
   const data::Dataset& client_data(std::size_t c) const {
-    return clients_[c];
+    return engine_.client_data(c);
   }
-  std::size_t num_clients() const { return clients_.size(); }
+  std::size_t num_clients() const { return engine_.num_clients(); }
 
   /// Number of pooled client-model replicas currently alive (grows on
   /// demand, bounded by the scheduler's parallelism).
-  std::size_t pool_size() const { return pool_total_; }
+  std::size_t pool_size() const { return engine_.pool_size(); }
 
-  /// Replace one client's dataset (deletion requests mutate local data).
-  void set_client_data(std::size_t c, data::Dataset ds);
+  /// Replace one client's dataset. Rejected (std::logic_error) while a run
+  /// is in flight — deletion events are the supported mid-run path.
+  void set_client_data(std::size_t c, data::Dataset ds) {
+    engine_.set_client_data(c, std::move(ds));
+  }
 
  private:
-  /// RAII lease of a pooled model replica: pops a free replica (cloning the
-  /// global model only when the pool has never been this deep — i.e. round
-  /// 1), returns it on destruction. Leases never outlive the sim.
-  class ModelLease {
-   public:
-    explicit ModelLease(FederatedSim& sim);
-    ~ModelLease();
-    nn::Model& get() { return *model_; }
-
-   private:
-    FederatedSim& sim_;
-    std::unique_ptr<nn::Model> model_;
-  };
-
-  // Declared first so it is destroyed last: models returning to the pool on
-  // teardown park their storage here before the scope drains it.
-  BufferPoolScope recycle_;
-  nn::Model global_;
-  /// Structural template for pool replicas. Never written after
-  /// construction: a cold-pool lease clones *this* (its values are always
-  /// overwritten by copy_from/load before use), so growing the pool from a
-  /// worker thread never races the main thread's writes to global_ — which
-  /// run_async performs while client tasks are still in flight.
-  nn::Model replica_template_;
-  std::vector<data::Dataset> clients_;
-  data::Dataset test_;
-  FlConfig cfg_;
-  std::unique_ptr<Aggregator> aggregator_;
-  /// cfg.aggregator wrapped in (1+s)^−α staleness discounting; null when
-  /// α = 0 (run_async then uses aggregator_ directly).
-  std::unique_ptr<Aggregator> staleness_aggregator_;
-  std::unique_ptr<runtime::Scheduler> owned_sched_;  // only when cfg.threads
-  runtime::Scheduler* sched_;  // the pool client tasks run on
-  metrics::BatchedEvaluator eval_;
-  ClientUpdateFn update_fn_;
-  long round_ = 0;
-
-  std::mutex pool_mu_;
-  std::vector<std::unique_ptr<nn::Model>> pool_;  // free replicas
-  std::size_t pool_total_ = 0;                    // replicas ever created
-
-  /// True when the global model is a two-layer MLP (the `mlp<h>` family),
-  /// whose per-client evaluation can be stacked into one wide GEMM.
-  bool stackable_mlp() const;
-  /// Batched client evaluation: concatenate every client's hidden-layer
-  /// weights into one (C·h, D) matrix so a single fused GEMM per test chunk
-  /// computes all clients' hidden activations — the test set is read and
-  /// packed once per round instead of once per client — then run each
-  /// client's logits head on its strided slice. Bit-identical to evaluating
-  /// the clients one at a time (each output column's k-reduction is
-  /// independent of how the batch or the column block is tiled).
-  void stacked_local_accuracy(const std::vector<ClientUpdate>& updates,
-                              std::vector<double>& local_acc);
-
-  // Stacked-evaluation scratch, reused across rounds.
-  Tensor stacked_w_, stacked_b_, stacked_y_;
-  bool stackable_ = false;  // computed once: the architecture never changes
+  Engine engine_;
 };
 
 }  // namespace goldfish::fl
