@@ -196,6 +196,7 @@ fl::RoundResult legacy_run_round(nn::Model& global,
   std::atomic<std::size_t> bytes{0};
   auto agg = fl::make_aggregator(cfg.aggregator);
 
+  // grain=1: a body is one whole client training run.
   runtime::Scheduler::global().parallel_map(n, [&](std::size_t c) {
     nn::Model local = global;  // broadcast: deep copy of global weights
     fl::TrainOptions opts = cfg.local;
@@ -208,7 +209,7 @@ fl::RoundResult legacy_run_round(nn::Model& global,
     updates[c].dataset_size = clients[c].size();
     bytes.fetch_add(wire, std::memory_order_relaxed);
     local_acc[c] = legacy_accuracy(local, test);
-  });
+  }, /*grain=*/1);
 
   global.load(agg->aggregate(updates));
 

@@ -1,0 +1,298 @@
+// Scheduler micro-benchmarks: the work-stealing Scheduler against a
+// verbatim copy of the pre-PR single-queue scheduler (one mutex-guarded
+// std::deque + one condvar), kept here the same way bench_fl_round keeps
+// the pre-pool round — so the stealing win is gated in CI as a
+// machine-independent ratio, not an absolute number.
+//
+//   BM_SchedulerFanout      N tiny submit() tasks, caller participates
+//   BM_ParallelForFine      back-to-back small-grain parallel_for regions
+//   BM_NestedClientKernel   engine-shaped nesting: clients × inner kernel
+//
+// Each has a *Legacy twin running the identical workload on the old
+// scheduler; check_bench_ratchet.py enforces the new/old ratios recorded
+// in baseline_ci.json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/scheduler.h"
+
+namespace {
+
+using goldfish::runtime::Scheduler;
+
+// -- the pre-work-stealing scheduler, verbatim ------------------------------
+// Single shared queue: every enqueue, try_run_one and worker wakeup
+// serializes on one mutex; workers park on one condvar and are notified on
+// every push.
+class LegacyScheduler {
+ public:
+  explicit LegacyScheduler(std::size_t parallelism) {
+    workers_.reserve(parallelism - 1);
+    for (std::size_t i = 0; i + 1 < parallelism; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~LegacyScheduler() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  bool try_run_one() {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) return false;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    return true;
+  }
+
+  void parallel_for(long n, const std::function<void(long, long)>& fn,
+                    long grain = 1) {
+    if (n <= 0) return;
+    grain = std::max(1L, grain);
+    if (workers_.empty() || n <= grain) {
+      fn(0, n);
+      return;
+    }
+    auto region = std::make_shared<Region>();
+    region->fn = &fn;
+    region->n = n;
+    region->chunk = grain;
+    region->nchunks = (n + grain - 1) / grain;
+    const std::size_t helpers = std::min<std::size_t>(
+        workers_.size(), static_cast<std::size_t>(region->nchunks - 1));
+    for (std::size_t h = 0; h < helpers; ++h)
+      enqueue([region] { run_chunks(region); });
+    run_chunks(region);
+    {
+      std::unique_lock<std::mutex> lock(region->mu);
+      region->done_cv.wait(lock, [&] {
+        return region->completed.load(std::memory_order_acquire) ==
+               region->nchunks;
+      });
+    }
+    if (region->error) std::rethrow_exception(region->error);
+  }
+
+ private:
+  struct Region {
+    const std::function<void(long, long)>* fn = nullptr;
+    long n = 0;
+    long chunk = 1;
+    long nchunks = 0;
+    std::atomic<long> next{0};
+    std::atomic<long> completed{0};
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+  };
+
+  void enqueue(std::function<void()> task) {
+    if (workers_.empty()) {
+      task();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  static void run_chunks(const std::shared_ptr<Region>& region) {
+    Region& r = *region;
+    for (;;) {
+      const long c = r.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= r.nchunks) return;
+      if (!r.abort.load(std::memory_order_relaxed)) {
+        const long lo = c * r.chunk;
+        const long hi = std::min(r.n, lo + r.chunk);
+        try {
+          (*r.fn)(lo, hi);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(r.mu);
+          if (!r.error) r.error = std::current_exception();
+          r.abort.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (r.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          r.nchunks) {
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.done_cv.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+// At least a few workers even on small CI boxes, so the enqueue/steal
+// machinery — not the inline fallback — is what gets measured everywhere.
+// Scheduler throughput is a wall-clock property (legacy workers sleep in
+// syscalls that cost latency but no CPU), so every bench uses UseRealTime.
+std::size_t bench_parallelism() {
+  return std::max<std::size_t>(4, std::thread::hardware_concurrency());
+}
+
+// -- workloads (identical bodies for both schedulers) -----------------------
+
+constexpr int kFanoutTasks = 2048;
+constexpr long kFineN = 512;
+constexpr long kFineGrain = 8;
+constexpr long kClients = 8;
+constexpr long kRows = 64;
+constexpr long kDim = 64;
+
+template <typename S>
+void fanout_round(S& sched, std::atomic<long>& done) {
+  done.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < kFanoutTasks; ++i)
+    sched.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  // The producer participates, like the FedBuff server draining futures.
+  while (done.load(std::memory_order_relaxed) < kFanoutTasks)
+    if (!sched.try_run_one()) std::this_thread::yield();
+}
+
+template <typename S>
+void fine_region_round(S& sched, std::vector<float>& v) {
+  sched.parallel_for(
+      kFineN,
+      [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) v[static_cast<std::size_t>(i)] += 1.0f;
+      },
+      kFineGrain);
+}
+
+// Engine-shaped nesting: an outer per-client region whose body runs an
+// inner rowwise kernel on the same pool (client × GEMM, in miniature).
+template <typename S>
+void nested_round(S& sched, const std::vector<float>& a,
+                  const std::vector<float>& b, std::vector<float>& out) {
+  sched.parallel_for(
+      kClients,
+      [&](long clo, long chi) {
+        for (long c = clo; c < chi; ++c)
+          sched.parallel_for(
+              kRows,
+              [&, c](long rlo, long rhi) {
+                for (long r = rlo; r < rhi; ++r) {
+                  float acc = 0.0f;
+                  const std::size_t off =
+                      static_cast<std::size_t>(r) * kDim;
+                  for (long k = 0; k < kDim; ++k)
+                    acc += a[off + static_cast<std::size_t>(k)] *
+                           b[off + static_cast<std::size_t>(k)];
+                  out[static_cast<std::size_t>(c * kRows + r)] = acc;
+                }
+              },
+              /*grain=*/8);
+      },
+      /*grain=*/1);
+}
+
+// -- benchmarks -------------------------------------------------------------
+
+void BM_SchedulerFanout(benchmark::State& state) {
+  Scheduler sched(bench_parallelism());
+  std::atomic<long> done{0};
+  for (auto _ : state) fanout_round(sched, done);
+  state.SetItemsProcessed(state.iterations() * kFanoutTasks);
+}
+BENCHMARK(BM_SchedulerFanout)->UseRealTime();
+
+void BM_SchedulerFanoutLegacy(benchmark::State& state) {
+  LegacyScheduler sched(bench_parallelism());
+  std::atomic<long> done{0};
+  for (auto _ : state) fanout_round(sched, done);
+  state.SetItemsProcessed(state.iterations() * kFanoutTasks);
+}
+BENCHMARK(BM_SchedulerFanoutLegacy)->UseRealTime();
+
+void BM_ParallelForFine(benchmark::State& state) {
+  Scheduler sched(bench_parallelism());
+  std::vector<float> v(static_cast<std::size_t>(kFineN), 0.0f);
+  for (auto _ : state) fine_region_round(sched, v);
+  benchmark::DoNotOptimize(v.data());
+  state.SetItemsProcessed(state.iterations() * kFineN);
+}
+BENCHMARK(BM_ParallelForFine)->UseRealTime();
+
+void BM_ParallelForFineLegacy(benchmark::State& state) {
+  LegacyScheduler sched(bench_parallelism());
+  std::vector<float> v(static_cast<std::size_t>(kFineN), 0.0f);
+  for (auto _ : state) fine_region_round(sched, v);
+  benchmark::DoNotOptimize(v.data());
+  state.SetItemsProcessed(state.iterations() * kFineN);
+}
+BENCHMARK(BM_ParallelForFineLegacy)->UseRealTime();
+
+void BM_NestedClientKernel(benchmark::State& state) {
+  Scheduler sched(bench_parallelism());
+  std::vector<float> a(static_cast<std::size_t>(kRows * kDim), 1.5f);
+  std::vector<float> b(static_cast<std::size_t>(kRows * kDim), 0.5f);
+  std::vector<float> out(static_cast<std::size_t>(kClients * kRows));
+  for (auto _ : state) nested_round(sched, a, b, out);
+  benchmark::DoNotOptimize(out.data());
+  state.SetItemsProcessed(state.iterations() * kClients);
+}
+BENCHMARK(BM_NestedClientKernel)->UseRealTime();
+
+void BM_NestedClientKernelLegacy(benchmark::State& state) {
+  LegacyScheduler sched(bench_parallelism());
+  std::vector<float> a(static_cast<std::size_t>(kRows * kDim), 1.5f);
+  std::vector<float> b(static_cast<std::size_t>(kRows * kDim), 0.5f);
+  std::vector<float> out(static_cast<std::size_t>(kClients * kRows));
+  for (auto _ : state) nested_round(sched, a, b, out);
+  benchmark::DoNotOptimize(out.data());
+  state.SetItemsProcessed(state.iterations() * kClients);
+}
+BENCHMARK(BM_NestedClientKernelLegacy)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -38,7 +38,7 @@ int main() {
       opts.seed = 803 + c;
       fl::train_local(m, parts[c], opts);
       accs[c] = metrics::accuracy(m, tt.test);
-    });
+    }, /*grain=*/1);  // one body = one whole client training run
     for (double a : accs) {
       min_acc = std::min(min_acc, a);
       max_acc = std::max(max_acc, a);

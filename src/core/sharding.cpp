@@ -36,13 +36,17 @@ long ShardManager::shard_rows(long shard) const {
 void ShardManager::train_all(const fl::TrainOptions& opts,
                              runtime::Scheduler* sched) {
   if (sched == nullptr) sched = &runtime::Scheduler::global();
-  sched->parallel_map(shards_.size(), [&](std::size_t i) {
-    Shard& s = shards_[i];
-    if (s.data.empty()) return;
-    fl::TrainOptions o = opts;
-    o.seed = opts.seed ^ (train_seed_ + i * 0x9E3779B9ull);
-    fl::train_local(s.model, s.data, o);
-  });
+  // grain=1: one body retrains a whole shard.
+  sched->parallel_map(
+      shards_.size(),
+      [&](std::size_t i) {
+        Shard& s = shards_[i];
+        if (s.data.empty()) return;
+        fl::TrainOptions o = opts;
+        o.seed = opts.seed ^ (train_seed_ + i * 0x9E3779B9ull);
+        fl::train_local(s.model, s.data, o);
+      },
+      /*grain=*/1);
   ++train_seed_;
 }
 
@@ -93,15 +97,19 @@ ShardManager::DeletionReport ShardManager::delete_rows(
     report.rows_retrained += shards_[static_cast<std::size_t>(shard)]
                                  .data.size();
   if (sched == nullptr) sched = &runtime::Scheduler::global();
-  sched->parallel_map(report.affected_shards.size(), [&](std::size_t k) {
-    const long shard = report.affected_shards[k];
-    Shard& s = shards_[static_cast<std::size_t>(shard)];
-    s.model = init_;
-    if (s.data.empty()) return;
-    fl::TrainOptions o = opts;
-    o.seed = opts.seed ^ (0xDE1E7Eull + static_cast<std::size_t>(shard));
-    fl::train_local(s.model, s.data, o);
-  });
+  // grain=1: one body retrains a whole affected shard from scratch.
+  sched->parallel_map(
+      report.affected_shards.size(),
+      [&](std::size_t k) {
+        const long shard = report.affected_shards[k];
+        Shard& s = shards_[static_cast<std::size_t>(shard)];
+        s.model = init_;
+        if (s.data.empty()) return;
+        fl::TrainOptions o = opts;
+        o.seed = opts.seed ^ (0xDE1E7Eull + static_cast<std::size_t>(shard));
+        fl::train_local(s.model, s.data, o);
+      },
+      /*grain=*/1);
   return report;
 }
 

@@ -225,16 +225,21 @@ void Engine::stacked_local_accuracy(const std::vector<ClientUpdate>& updates,
     gemm_fused_into(stacked_y_, x, stacked_w_, false, true,
                     runtime::Epilogue::kBiasColRelu, stacked_b_);
     // Each client's logits head reads its strided slice of the block.
-    sched_->parallel_map(static_cast<std::size_t>(n), [&](std::size_t c) {
-      const Tensor& w2 = updates[c].params[2];
-      const Tensor& b2 = updates[c].params[3];
-      Tensor logits = Tensor::uninit({rows, k});
-      runtime::sgemm(false, true, rows, k, h,
-                     stacked_y_.data() + static_cast<long>(c) * h, nh,
-                     w2.data(), h, logits.data(), k, /*beta=*/0.0f,
-                     runtime::Epilogue::kBiasCol, b2.data());
-      correct[c] += metrics::correct_predictions(logits, y, rows);
-    });
+    // grain=1: each body is a whole per-client head GEMM — coarse enough
+    // that per-item claims are noise and load balance matters more.
+    sched_->parallel_map(
+        static_cast<std::size_t>(n),
+        [&](std::size_t c) {
+          const Tensor& w2 = updates[c].params[2];
+          const Tensor& b2 = updates[c].params[3];
+          Tensor logits = Tensor::uninit({rows, k});
+          runtime::sgemm(false, true, rows, k, h,
+                         stacked_y_.data() + static_cast<long>(c) * h, nh,
+                         w2.data(), h, logits.data(), k, /*beta=*/0.0f,
+                         runtime::Epilogue::kBiasCol, b2.data());
+          correct[c] += metrics::correct_predictions(logits, y, rows);
+        },
+        /*grain=*/1);
   }
   for (long c = 0; c < n; ++c)
     local_acc[static_cast<std::size_t>(c)] =
@@ -656,12 +661,16 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
         r.max_staleness = std::max(r.max_staleness, plan.tasks[id].staleness);
       }
       if (agg.needs_mse()) {
-        sched_->parallel_map(updates.size(), [&](std::size_t i) {
-          ModelLease lease(*this);
-          nn::Model& scratch = lease.get();
-          scratch.load(updates[i].params);
-          updates[i].mse = eval_.mse(scratch);
-        });
+        // grain=1: one body is a full-model MSE evaluation.
+        sched_->parallel_map(
+            updates.size(),
+            [&](std::size_t i) {
+              ModelLease lease(*this);
+              nn::Model& scratch = lease.get();
+              scratch.load(updates[i].params);
+              updates[i].mse = eval_.mse(scratch);
+            },
+            /*grain=*/1);
       }
       std::vector<Tensor> merged = agg.aggregate(updates);
       global_.load(merged);

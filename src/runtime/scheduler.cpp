@@ -1,36 +1,167 @@
 #include "runtime/scheduler.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
+#include <stdexcept>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace goldfish::runtime {
 
 namespace {
+
+/// CPUs this process may actually run on. In cgroup-limited containers and
+/// under taskset this is smaller than hardware_concurrency(), which reports
+/// the whole machine and makes a naive pool oversubscribe its quota.
+std::vector<int> affinity_cpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    std::vector<int> cpus;
+    for (int c = 0; c < CPU_SETSIZE; ++c)
+      if (CPU_ISSET(c, &set)) cpus.push_back(c);
+    return cpus;
+  }
+#endif
+  return {};
+}
 
 std::size_t default_parallelism() {
   if (const char* env = std::getenv("GOLDFISH_THREADS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v > 0) return static_cast<std::size_t>(v);
   }
+  const std::vector<int> cpus = affinity_cpus();
+  if (!cpus.empty()) return cpus.size();
   return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool pinning_requested() {
+  const char* env = std::getenv("GOLDFISH_PIN_THREADS");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Polite busy-wait step: a pipeline hint on x86, a scheduler hint where
+/// spinning would starve the thread we are waiting on (1-CPU containers).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// xorshift64* — cheap per-thread stream for randomized victim selection.
+/// Steal order only affects which thread runs a task, never the result
+/// (see the determinism contract in scheduler.h), so any seed is fine.
+inline std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1Dull;
 }
 
 }  // namespace
 
+thread_local Scheduler::TlsBinding Scheduler::tls_binding_;
+
+/// RAII claim of an external deque slot for a non-worker caller. Nested
+/// calls on a thread already bound to this scheduler (its own workers, or
+/// an outer region on the same pool) are no-ops. Slots hand off cleanly
+/// between threads: tasks left behind by a previous owner are either live
+/// (a worker will steal and run them) or stale region helpers (no-ops),
+/// so the next owner can push and pop without coordination beyond the
+/// claim bit's acquire/release.
+class Scheduler::CallerSlot {
+ public:
+  explicit CallerSlot(Scheduler& sched) : sched_(sched), prev_(tls_binding_) {
+    if (prev_.sched == &sched) return;  // already a lane of this scheduler
+    rebound_ = true;
+    std::uint32_t claimed =
+        sched.external_claimed_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t free_bits =
+          ~claimed & ((1u << kExternalSlots) - 1u);
+      if (free_bits == 0) {
+        // Every external slot busy (>kExternalSlots concurrent outside
+        // callers): fall back to the injection queue for this call.
+        tls_binding_ = {&sched, nullptr};
+        return;
+      }
+      const int bit = std::countr_zero(free_bits);
+      if (sched.external_claimed_.compare_exchange_weak(
+              claimed, claimed | (1u << bit), std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        claimed_bit_ = bit;
+        tls_binding_ = {
+            &sched,
+            sched.slots_[sched.workers_.size() + std::size_t(bit)].get()};
+        return;
+      }
+    }
+  }
+
+  ~CallerSlot() {
+    if (!rebound_) return;
+    if (claimed_bit_ >= 0)
+      sched_.external_claimed_.fetch_and(~(1u << claimed_bit_),
+                                         std::memory_order_acq_rel);
+    tls_binding_ = prev_;
+  }
+
+  CallerSlot(const CallerSlot&) = delete;
+  CallerSlot& operator=(const CallerSlot&) = delete;
+
+ private:
+  Scheduler& sched_;
+  TlsBinding prev_;
+  bool rebound_ = false;
+  int claimed_bit_ = -1;
+};
+
 Scheduler::Scheduler(std::size_t parallelism) {
   if (parallelism == 0) parallelism = default_parallelism();
-  workers_.reserve(parallelism - 1);
-  for (std::size_t i = 0; i + 1 < parallelism; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  const std::size_t nworkers = parallelism - 1;
+  slots_.reserve(nworkers + kExternalSlots);
+  for (std::size_t i = 0; i < nworkers + kExternalSlots; ++i)
+    slots_.push_back(std::make_unique<Slot>());
+  workers_.reserve(nworkers);
+  for (std::size_t i = 0; i < nworkers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+#if defined(__linux__)
+  if (pinning_requested() && !workers_.empty()) {
+    const std::vector<int> cpus = affinity_cpus();
+    if (!cpus.empty()) {
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        // Round-robin over the allowed mask; CPU 0 of the mask is left to
+        // the participating caller so pinned workers don't stack on it.
+        cpu_set_t one;
+        CPU_ZERO(&one);
+        CPU_SET(cpus[(i + 1) % cpus.size()], &one);
+        pthread_setaffinity_np(workers_[i].native_handle(), sizeof(one),
+                               &one);
+      }
+    }
+  }
+#endif
 }
 
 Scheduler::~Scheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stopping_.store(true, std::memory_order_seq_cst);
   }
-  cv_.notify_all();
+  sleep_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // Mop up anything still queued (stale region helpers, or tasks pushed by
+  // the last tasks the workers ran as they drained toward exit).
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  while (Task* task = acquire_task(nullptr, rng)) run_task(task);
 }
 
 Scheduler& Scheduler::global() {
@@ -38,44 +169,142 @@ Scheduler& Scheduler::global() {
   return instance;
 }
 
-void Scheduler::enqueue(std::function<void()> task) {
-  // A zero-worker scheduler has no consumer for the queue; run the task
+void Scheduler::enqueue(std::function<void()> fn) {
+  // A zero-worker scheduler has no consumer for the queues; run the task
   // inline so submit() futures complete instead of blocking forever.
   if (workers_.empty()) {
-    task();
+    fn();
     return;
   }
+  if (stopping_.load(std::memory_order_acquire))
+    throw std::runtime_error("submit on stopped scheduler");
+  CallerSlot guard(*this);
+  push_task(new Task{std::move(fn), nullptr});
+}
+
+void Scheduler::push_task(Task* task) {
+  Slot* own = (tls_binding_.sched == this) ? tls_binding_.slot : nullptr;
+  if (own == nullptr || !own->deque.push(task)) inject(task);
+  wake_one();
+}
+
+void Scheduler::inject(Task* task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) throw std::runtime_error("submit on stopped scheduler");
-    queue_.push_back(std::move(task));
+    std::lock_guard<std::mutex> lock(injection_mu_);
+    injection_.push_back(task);
   }
-  cv_.notify_one();
+  injection_size_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+Scheduler::Task* Scheduler::pop_injection() {
+  std::lock_guard<std::mutex> lock(injection_mu_);
+  if (injection_.empty()) return nullptr;
+  Task* task = injection_.front();
+  injection_.pop_front();
+  injection_size_.fetch_sub(1, std::memory_order_seq_cst);
+  return task;
+}
+
+Scheduler::Task* Scheduler::acquire_task(Slot* own, std::uint64_t& rng_state) {
+  if (own != nullptr)
+    if (Task* task = own->deque.pop()) return task;
+  if (injection_size_.load(std::memory_order_relaxed) > 0)
+    if (Task* task = pop_injection()) return task;
+  // Randomized sweep over every other deque (workers and external callers
+  // alike): a random start point spreads thieves across victims instead of
+  // convoying on slot 0.
+  const std::size_t nslots = slots_.size();
+  const std::size_t start =
+      static_cast<std::size_t>(next_rand(rng_state)) % nslots;
+  for (std::size_t k = 0; k < nslots; ++k) {
+    Slot* victim = slots_[(start + k) % nslots].get();
+    if (victim == own) continue;
+    if (Task* task = victim->deque.steal()) return task;
+  }
+  return nullptr;
+}
+
+void Scheduler::run_task(Task* task) {
+  if (task->region) {
+    std::shared_ptr<Region> region = std::move(task->region);
+    delete task;
+    run_chunks(region);
+    return;
+  }
+  std::function<void()> fn = std::move(task->fn);
+  delete task;
+  fn();  // submit() wraps in packaged_task, so this never throws
+}
+
+bool Scheduler::has_pending_work() {
+  if (injection_size_.load(std::memory_order_seq_cst) > 0) return true;
+  for (const auto& slot : slots_)
+    if (!slot->deque.empty()) return true;
+  return false;
+}
+
+void Scheduler::wake_one() {
+  // Dekker pair with the parking sequence in worker_loop: the push that
+  // preceded this call was seq_cst, so either we observe the sleeper here
+  // or the sleeper's post-registration sweep observes our push.
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    ++wake_signals_;
+  }
+  sleep_cv_.notify_one();
 }
 
 bool Scheduler::try_run_one() {
-  std::function<void()> task;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
-  }
-  task();
+  thread_local std::uint64_t rng_state =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1u;
+  Slot* own = (tls_binding_.sched == this) ? tls_binding_.slot : nullptr;
+  Task* task = acquire_task(own, rng_state);
+  if (task == nullptr) return false;
+  run_task(task);
   return true;
 }
 
-void Scheduler::worker_loop() {
+void Scheduler::worker_loop(std::size_t slot_index) {
+  Slot* own = slots_[slot_index].get();
+  tls_binding_ = {this, own};
+  std::uint64_t rng_state = 0x9E3779B97F4A7C15ull * (slot_index + 2) | 1u;
+  int idle_sweeps = 0;
+  constexpr int kSweepsBeforePark = 4;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    if (Task* task = acquire_task(own, rng_state)) {
+      run_task(task);
+      idle_sweeps = 0;
+      continue;
     }
-    task();
+    if (++idle_sweeps < kSweepsBeforePark) {
+      for (int p = 0; p < 32; ++p) cpu_relax();
+      if (idle_sweeps > 1) std::this_thread::yield();
+      continue;
+    }
+    idle_sweeps = 0;
+    // Parking protocol: register as a sleeper (seq_cst), then re-sweep.
+    // A producer pushes (seq_cst) and then reads sleepers_; whichever of
+    // the two raced ahead, one side sees the other — no lost wakeups.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (has_pending_work()) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    bool stop = false;
+    {
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      // The timed wait is belt-and-braces only: the protocol above already
+      // rules out lost wakeups, so the 2 ms tick merely bounds the damage
+      // of any future regression to latency instead of a hang.
+      sleep_cv_.wait_for(lock, std::chrono::milliseconds(2), [this] {
+        return stopping_.load(std::memory_order_relaxed) || wake_signals_ > 0;
+      });
+      if (wake_signals_ > 0) --wake_signals_;
+      stop = stopping_.load(std::memory_order_relaxed);
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    if (stop && !has_pending_work()) return;  // stopping and drained
   }
 }
 
@@ -96,12 +325,35 @@ void Scheduler::run_chunks(const std::shared_ptr<Region>& region) {
       }
     }
     // Even aborted chunks count as completed so the opener's wait ends.
-    if (r.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+    // Dekker pair with wait_region: count (seq_cst), then check whether an
+    // opener registered as waiting.
+    if (r.completed.fetch_add(1, std::memory_order_seq_cst) + 1 ==
         r.nchunks) {
-      std::lock_guard<std::mutex> lock(r.mu);
-      r.done_cv.notify_all();
+      if (r.waiting.load(std::memory_order_seq_cst)) {
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.done_cv.notify_all();
+      }
     }
   }
+}
+
+void Scheduler::wait_region(Region& r) {
+  // The opener already claimed every unclaimed chunk, so only chunks
+  // actively running on other threads remain — for fine regions they
+  // finish within the spin, avoiding both syscalls of a condvar rendezvous.
+  for (int spin = 0; spin < 128; ++spin) {
+    if (r.completed.load(std::memory_order_acquire) == r.nchunks) return;
+    cpu_relax();
+  }
+  for (int y = 0; y < 16; ++y) {
+    if (r.completed.load(std::memory_order_acquire) == r.nchunks) return;
+    std::this_thread::yield();
+  }
+  r.waiting.store(true, std::memory_order_seq_cst);
+  std::unique_lock<std::mutex> lock(r.mu);
+  r.done_cv.wait(lock, [&r] {
+    return r.completed.load(std::memory_order_seq_cst) == r.nchunks;
+  });
 }
 
 void Scheduler::parallel_for(long n,
@@ -123,29 +375,29 @@ void Scheduler::parallel_for(long n,
   // don't enqueue them. The caller is one of the lanes.
   const std::size_t helpers = std::min<std::size_t>(
       workers_.size(), static_cast<std::size_t>(region->nchunks - 1));
-  for (std::size_t h = 0; h < helpers; ++h)
-    enqueue([region] { run_chunks(region); });
-
-  run_chunks(region);
   {
-    std::unique_lock<std::mutex> lock(region->mu);
-    region->done_cv.wait(lock, [&] {
-      return region->completed.load(std::memory_order_acquire) ==
-             region->nchunks;
-    });
+    CallerSlot guard(*this);
+    for (std::size_t h = 0; h < helpers; ++h)
+      push_task(new Task{{}, region});
+    run_chunks(region);
+    wait_region(*region);
   }
   if (region->error) std::rethrow_exception(region->error);
 }
 
 void Scheduler::parallel_map(std::size_t n,
-                             const std::function<void(std::size_t)>& fn) {
+                             const std::function<void(std::size_t)>& fn,
+                             long grain) {
+  if (grain <= 0)
+    grain = std::max(
+        1L, static_cast<long>(n) / (4L * static_cast<long>(parallelism())));
   parallel_for(
       static_cast<long>(n),
       [&fn](long lo, long hi) {
         for (long i = lo; i < hi; ++i)
           fn(static_cast<std::size_t>(i));
       },
-      /*grain=*/1);
+      grain);
 }
 
 }  // namespace goldfish::runtime

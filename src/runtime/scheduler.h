@@ -1,6 +1,7 @@
 // Unified parallel runtime: one process-wide worker pool shared by every
 // layer of the library, from kernel-level `parallel_for` inside GEMM up to
-// the FL simulator's "foreach client in parallel" loops.
+// the FL engine's "foreach client in parallel" loops and its buffered-async
+// submit() tasks.
 //
 // The previous substrate was split in two — spawn-per-call std::threads for
 // tensor kernels and a blocking fixed pool (`fl::ThreadPool`) for client
@@ -9,6 +10,17 @@
 // a thread that opens a parallel region claims and executes chunks itself
 // while idle workers help. Nested regions therefore never deadlock and
 // never spawn threads; at worst they run inline on the calling worker.
+//
+// Scheduling is *work-stealing*: every worker thread — and every external
+// thread that calls in — owns a bounded lock-free Chase–Lev deque
+// (task_deque.h). Owners push and pop LIFO at the bottom for cache
+// locality; a thread whose own deque runs dry steals FIFO from a
+// randomized sweep of the other deques. External submissions that cannot
+// claim a deque slot land in a small mutex-guarded injection queue (the
+// overflow path, not the hot path). Idle workers spin briefly, then park
+// on a condition variable; producers wake them only when someone is
+// actually asleep, so back-to-back parallel regions run entirely in
+// userspace. See src/runtime/README.md for the full design.
 //
 // Determinism: chunk *assignment* to threads is dynamic, but chunk contents
 // and the per-chunk execution order are fixed independent of the thread
@@ -29,15 +41,19 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/task_deque.h"
+
 namespace goldfish::runtime {
 
 class Scheduler {
  public:
-  /// `parallelism == 0` → GOLDFISH_THREADS env var, else hardware
-  /// concurrency. A parallelism of p spawns p−1 workers; the thread that
-  /// opens a parallel region is always the p-th lane. `Scheduler(1)` spawns
-  /// no threads at all and runs everything inline (the serial baseline for
-  /// determinism tests).
+  /// `parallelism == 0` → GOLDFISH_THREADS env var, else the process CPU
+  /// affinity mask (cgroup/taskset aware), else hardware concurrency. A
+  /// parallelism of p spawns p−1 workers; the thread that opens a parallel
+  /// region is always the p-th lane. `Scheduler(1)` spawns no threads at
+  /// all and runs everything inline (the serial baseline for determinism
+  /// tests). With GOLDFISH_PIN_THREADS=1 workers are pinned round-robin to
+  /// the CPUs of the affinity mask (Linux only).
   explicit Scheduler(std::size_t parallelism = 0);
   ~Scheduler();
 
@@ -59,8 +75,13 @@ class Scheduler {
 
   /// Apply fn(i) for i in [0, n); task-level parallelism for coarse work
   /// (FL clients, shard retraining). Same nesting and exception rules as
-  /// parallel_for.
-  void parallel_map(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// parallel_for. `grain` is the number of consecutive indices one chunk
+  /// claim covers: 0 picks a cost-aware default of n / (4 · parallelism)
+  /// (min 1) that amortizes the per-chunk claim for cheap bodies; pass 1
+  /// explicitly when each body is coarse (a whole client training run) so
+  /// load balancing stays per-item.
+  void parallel_map(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    long grain = 0);
 
   /// Enqueue a standalone task; returns a future for its result.
   template <typename Fn>
@@ -73,14 +94,15 @@ class Scheduler {
     return fut;
   }
 
-  /// Pop one queued task and run it on the calling thread; false when the
-  /// queue is empty. The caller-participation primitive for submit():
-  /// threads waiting on futures execute pending work instead of blocking.
+  /// Pop one pending task (own deque first, then a steal sweep, then the
+  /// injection queue) and run it on the calling thread; false when nothing
+  /// is pending. The caller-participation primitive for submit(): threads
+  /// waiting on futures execute pending work instead of blocking.
   bool try_run_one();
 
-  /// Block until `fut` is ready, draining queued tasks on this thread while
-  /// waiting. This is how a consumer collects submit() futures in its own
-  /// completion order (the async FL loop drains them in virtual-clock
+  /// Block until `fut` is ready, draining pending tasks on this thread
+  /// while waiting. This is how a consumer collects submit() futures in its
+  /// own completion order (the async FL loop drains them in virtual-clock
   /// order): deadlock-free at any parallelism, because the waiter is itself
   /// a worker lane — even at parallelism 1, where no worker threads exist.
   template <typename T>
@@ -103,20 +125,78 @@ class Scheduler {
     std::atomic<long> next{0};
     std::atomic<long> completed{0};
     std::atomic<bool> abort{false};
+    // Dekker pair with `completed`: the opener announces itself before
+    // sleeping on done_cv; chunk completers only take the lock and notify
+    // when an opener is (or may be) asleep.
+    std::atomic<bool> waiting{false};
     std::mutex mu;
     std::condition_variable done_cv;
     std::exception_ptr error;
   };
 
-  void enqueue(std::function<void()> task);
-  void worker_loop();
+  /// A unit of pending work: either a submit() payload or a helper handle
+  /// on a parallel region (helpers claim chunks until the region's shared
+  /// counter is exhausted, so a stale helper for a finished region is a
+  /// cheap no-op).
+  struct Task {
+    std::function<void()> fn;
+    std::shared_ptr<Region> region;
+  };
+
+  static constexpr std::size_t kDequeCapacity = 1024;
+  /// Deque slots claimable by non-worker threads (the main thread, or a
+  /// worker of *another* Scheduler calling into this one). More concurrent
+  /// external callers than this overflow to the injection queue.
+  static constexpr std::size_t kExternalSlots = 8;
+
+  struct alignas(64) Slot {
+    TaskDeque<Task*, kDequeCapacity> deque;
+  };
+
+  /// Which Scheduler (if any) the current thread holds a deque slot of.
+  /// Workers bind their slot for life; external threads bind per call via
+  /// CallerSlot and restore the previous binding on exit, so nesting
+  /// across schedulers (worker of pool A calling into pool B) works.
+  struct TlsBinding {
+    Scheduler* sched = nullptr;
+    Slot* slot = nullptr;
+  };
+  class CallerSlot;  // RAII claim of an external slot, defined in the .cpp
+
+  void enqueue(std::function<void()> fn);
+  void push_task(Task* task);
+  void inject(Task* task);
+  Task* pop_injection();
+  Task* acquire_task(Slot* own, std::uint64_t& rng_state);
+  void run_task(Task* task);
+  bool has_pending_work();
+  void wake_one();
+  void worker_loop(std::size_t slot_index);
+  void wait_region(Region& region);
   static void run_chunks(const std::shared_ptr<Region>& region);
 
+  static thread_local TlsBinding tls_binding_;
+
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  // Slots [0, workers) belong to the workers; [workers, workers +
+  // kExternalSlots) are claimable by external callers.
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint32_t> external_claimed_{0};
+
+  // Overflow/injection queue: external submits with no free slot, and
+  // deque-full overflow. Cold path by construction.
+  std::mutex injection_mu_;
+  std::deque<Task*> injection_;
+  std::atomic<long> injection_size_{0};
+
+  // Sleep protocol (see README): producers push (seq_cst) then read
+  // sleepers_; parking workers bump sleepers_ (seq_cst) then re-sweep the
+  // queues before waiting, so one side always sees the other.
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> sleepers_{0};
+  int wake_signals_ = 0;  // guarded by sleep_mu_
+  std::atomic<bool> stopping_{false};
 };
 
 /// Resolve a config's thread-count knob: 0 → the shared global Scheduler,

@@ -1,0 +1,92 @@
+// Bounded lock-free Chase–Lev work-stealing deque (Chase & Lev, SPAA'05;
+// memory orderings after Lê et al., "Correct and Efficient Work-Stealing
+// for Weak Memory Models", PPoPP'13 — rewritten fence-free with seq_cst
+// operations on `top_`/`bottom_` so ThreadSanitizer, which does not model
+// standalone fences, can verify the algorithm).
+//
+// One thread — the *owner* — pushes and pops at the bottom (LIFO, so the
+// hottest task stays in the owner's cache); any other thread steals from
+// the top (FIFO, so thieves take the oldest, coldest work). The ring is
+// fixed-capacity: `push` returns false when full and the caller overflows
+// elsewhere (the Scheduler's injection queue). Elements are raw pointers;
+// whoever pops or steals an element owns it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+
+namespace goldfish::runtime {
+
+template <typename T, std::size_t kCapacity>
+class TaskDeque {
+  static_assert(kCapacity >= 2 && (kCapacity & (kCapacity - 1)) == 0,
+                "capacity must be a power of two");
+  static_assert(std::is_pointer_v<T>, "elements are owning raw pointers");
+
+ public:
+  /// Owner only. False when the ring is full (caller must overflow).
+  bool push(T item) {
+    const long b = bottom_.load(std::memory_order_relaxed);
+    const long t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<long>(kCapacity)) return false;
+    // Release on the cell itself publishes the task's contents to a thief
+    // that acquires this exact cell value — independent of the top_/bottom_
+    // protocol, which only guarantees *which* cell each side touches.
+    cell(b).store(item, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only. nullptr when empty (or a thief won the last element).
+  T pop() {
+    const long b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    long t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // was empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T item = cell(b).load(std::memory_order_relaxed);
+    if (t < b) return item;  // >1 element left: no thief can reach cell b
+    // Single element: race the thieves for it via top_.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      item = nullptr;  // a thief got there first
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return item;
+  }
+
+  /// Any thread. nullptr when empty or when losing a race (the caller's
+  /// sweep just moves on to the next victim and comes back around).
+  T steal() {
+    long t = top_.load(std::memory_order_seq_cst);
+    const long b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    T item = cell(t).load(std::memory_order_acquire);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;  // lost to the owner's pop or another thief
+    return item;
+  }
+
+  /// Racy size hint for "is there anything to do" sweeps; never used for
+  /// correctness decisions (push/pop/steal re-validate under seq_cst).
+  bool empty() const {
+    return top_.load(std::memory_order_seq_cst) >=
+           bottom_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<T>& cell(long i) {
+    return cells_[static_cast<std::size_t>(i) & (kCapacity - 1)];
+  }
+
+  // top_ and bottom_ on separate cache lines: thieves hammer top_ with CAS
+  // while the owner bumps bottom_ on every push/pop.
+  alignas(64) std::atomic<long> top_{0};
+  alignas(64) std::atomic<long> bottom_{0};
+  alignas(64) std::array<std::atomic<T>, kCapacity> cells_{};
+};
+
+}  // namespace goldfish::runtime
