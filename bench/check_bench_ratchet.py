@@ -22,6 +22,9 @@ BASELINE_JSON (bench/baseline_ci.json, checked in) holds:
     {"bench": name, "counter": name, "max": v}. The zero-allocation round
     gate: bench_fl_round's allocs_per_round counter (FloatBuffer heap
     allocations in one steady-state round) must stay at 0.
+  * "counters_min": the same, but a floor — {"bench": name, "counter": name,
+    "min": v} requires the counter to be >= v. The wire-policy gate uses
+    this to pin "uploads report real, nonzero byte counts".
 """
 
 import json
@@ -56,6 +59,8 @@ def main() -> int:
 
     print(f"{'benchmark':40} {'measured':>12} {'floor':>10} {'status':>8}")
     for name, floor_gflops in sorted(baseline.get("gflops", {}).items()):
+        if name.startswith("_"):  # inline commentary, not a gate
+            continue
         got = measured.get(name)
         if got is None:
             failures.append(f"{name}: missing from results")
@@ -104,6 +109,22 @@ def main() -> int:
             failures.append(
                 f"{gate['bench']}.{gate['counter']} is {value:g}"
                 f" (need <= {limit:g})")
+
+    for gate in baseline.get("counters_min", []):
+        bench = counters.get(gate["bench"])
+        value = None if bench is None else bench.get(gate["counter"])
+        limit = float(gate["min"])
+        if value is None:
+            failures.append(
+                f"counter {gate['bench']}.{gate['counter']}: missing")
+            continue
+        ok = value >= limit
+        print(f"{gate['bench']}.{gate['counter']}: {value:g}"
+              f" (need >= {limit:g}) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{gate['bench']}.{gate['counter']} is {value:g}"
+                f" (need >= {limit:g})")
 
     if failures:
         print("\nBench ratchet FAILED:", file=sys.stderr)

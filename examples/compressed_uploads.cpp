@@ -1,0 +1,116 @@
+// Wire-policy example: the same federation under four upload encodings.
+//
+// Every client upload travels through a WirePolicy — encoded to real bytes,
+// shipped, decoded server-side before aggregation. This demo runs one
+// buffered-async scenario four times, changing only the wire:
+//   * dense          byte-true float32, bit-exact (the null-wire default),
+//   * quantized      int8 affine per tensor, ~4x fewer bytes,
+//   * delta+topk     top-k sparsified update deltas, ~5x fewer bytes,
+//   * delta+quant    quantized deltas under a bandwidth-aware clock, where
+//                    upload time = bytes / per-client link speed — so the
+//                    smaller payload finishes the same schedule sooner.
+// StepResult reports the per-update payload (upload_bytes) and, for lossy
+// wires, the mean relative L2 reconstruction error (encode_error). Each
+// configuration is still bit-identical at any thread count.
+//
+// Run: ./build/examples/compressed_uploads
+//
+// The delta+topk row shows why aggressive sparsification is a trade, not a
+// free win: with no error feedback it lags hardest early in training.
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/simulation.h"
+#include "metrics/report.h"
+#include "nn/models.h"
+
+namespace {
+
+struct WireRun {
+  std::string wire;
+  std::size_t upload_bytes = 0;
+  double encode_error = 0.0;
+  double virtual_time = 0.0;
+  double accuracy = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace goldfish;
+  std::cout << "== Compressed uploads demo ==\n";
+
+  auto tt = data::make_synthetic(
+      data::default_spec(data::DatasetKind::Mnist, /*seed=*/70,
+                         /*train=*/1200, /*test=*/300));
+  Rng rng(71);
+  auto clients = data::partition_iid(tt.train, 8, rng);
+
+  fl::FlConfig cfg;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 50;
+  cfg.local.lr = 0.05f;
+  cfg.async.duration_log_jitter = 0.5;
+
+  auto run_with = [&](std::unique_ptr<fl::WirePolicy> wire,
+                      bool bandwidth_clock) {
+    Rng mrng(72);  // fresh identical model per run: only the wire differs
+    nn::Model global = nn::make_mlp(tt.train.geom, 16, 10, mrng);
+    fl::FederatedSim sim(global, clients, tt.test, cfg);
+
+    fl::Scenario s = sim.engine().async_scenario(12);
+    if (wire) s.wire = std::move(wire);
+    if (bandwidth_clock) {
+      // Compute time as before, plus bytes / link-speed per upload. Links
+      // are a seeded log-normal around 2 MB per virtual time unit.
+      s.clock = std::make_unique<fl::BandwidthClock>(
+          std::make_unique<fl::VirtualClock>(cfg.seed, 1.0,
+                                             cfg.async.duration_log_jitter),
+          /*mean_bandwidth=*/2.0e6, /*log_spread=*/0.3, cfg.seed);
+    }
+
+    WireRun out;
+    out.wire = s.wire ? s.wire->name() : "dense";
+    sim.engine().run(std::move(s), [&](const fl::StepResult& r) {
+      out.upload_bytes = r.upload_bytes;
+      out.encode_error = r.encode_error;
+      out.virtual_time = r.virtual_time;
+      out.accuracy = r.global_accuracy;
+    });
+    return out;
+  };
+
+  std::cout << "8 clients, 12 buffered-async aggregations per run\n\n"
+            << "wire                 bytes/update  vs dense  encode err  "
+               "t(final)  accuracy\n";
+  const WireRun dense = run_with(nullptr, false);
+  WireRun runs[] = {
+      dense,
+      run_with(std::make_unique<fl::QuantizedWire>(), false),
+      run_with(std::make_unique<fl::DeltaWire>(
+                   std::make_unique<fl::TopKWire>(0.1)),
+               false),
+      run_with(std::make_unique<fl::DeltaWire>(
+                   std::make_unique<fl::QuantizedWire>()),
+               /*bandwidth_clock=*/true),
+  };
+  for (const auto& r : runs) {
+    const double pct = 100.0 * double(r.upload_bytes) / double(dense.upload_bytes);
+    std::cout << "  " << r.wire << std::string(r.wire.size() < 19 ? 19 - r.wire.size() : 1, ' ')
+              << r.upload_bytes << "        " << metrics::fmt(pct, 1) << "%    "
+              << metrics::fmt(r.encode_error, 4) << "      "
+              << metrics::fmt(r.virtual_time, 2) << "     "
+              << metrics::fmt(r.accuracy) << "%\n";
+  }
+
+  std::cout << "\ndense ships " << dense.upload_bytes
+            << " bytes per update; int8 quantization cuts that ~4x at "
+               "matching accuracy,\nand top-k delta sparsification ~5x "
+               "(lossy — it lags early in training).\nThe last row prices "
+               "uploads on a bandwidth clock: same schedule, fewer bytes,\n"
+            << "earlier finish than dense would get under the same links.\n";
+  return 0;
+}

@@ -11,7 +11,6 @@
 
 #include "runtime/gemm.h"
 #include "tensor/ops.h"
-#include "tensor/serialize.h"
 
 namespace goldfish::fl {
 
@@ -53,6 +52,24 @@ struct TimelineRef {
   int kind = kDeletion;
   std::size_t index = 0;  // into the scenario vector of that kind
 };
+
+/// Relative L2 reconstruction error ‖decoded − trained‖ / ‖trained‖ across a
+/// whole snapshot: how much the wire encoding perturbed this upload.
+/// Accumulated in a fixed order, so it is deterministic per task.
+double wire_reconstruction_error(const std::vector<Tensor>& trained,
+                                 const std::vector<Tensor>& decoded) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t t = 0; t < trained.size(); ++t) {
+    const float* a = trained[t].data();
+    const float* b = decoded[t].data();
+    for (std::size_t i = 0; i < trained[t].numel(); ++i) {
+      const double d = double(a[i]) - double(b[i]);
+      num += d * d;
+      den += double(a[i]) * double(a[i]);
+    }
+  }
+  return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
 
 }  // namespace
 
@@ -597,6 +614,13 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
   std::vector<std::future<void>> futures(num_tasks);
   std::vector<ClientUpdate> task_updates(num_tasks);
   std::vector<std::size_t> wire_bytes(num_tasks, 0);
+  std::vector<double> task_err(num_tasks, 0.0);
+  // Reference-needing wires (delta) read version v's parameters during the
+  // encode/decode roundtrip, so the version-release refcount drop moves
+  // after the wire path for them.
+  const WirePolicy* wirep = scenario.wire.get();
+  const bool hold_ref = wirep->needs_reference();
+  const bool lossy = !wirep->lossless();
   // Per-task local accuracy for architectures whose evaluation cannot be
   // stacked: measured on the still-leased replica right after training,
   // like the historical synchronous round did.
@@ -612,9 +636,9 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
     for (std::size_t id : by_version[v]) {
       futures[id] = sched_->submit([this, id, &plan, &epoch_data,
                                     &version_params, &version_refs,
-                                    &task_updates, &wire_bytes,
-                                    &task_local_acc, eval_in_task,
-                                    round_base] {
+                                    &task_updates, &wire_bytes, &task_err,
+                                    &task_local_acc, eval_in_task, wirep,
+                                    hold_ref, lossy, round_base] {
         const Schedule::Task& tp = plan.tasks[id];
         const std::size_t v = static_cast<std::size_t>(tp.from_version);
         ModelLease lease(*this);
@@ -623,17 +647,30 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
         // accumulators (exactly what copy_from does for a deep clone).
         local.load(version_params[v]);
         local.zero_grad();
-        if (version_refs[v].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        if (!hold_ref &&
+            version_refs[v].fetch_sub(1, std::memory_order_acq_rel) == 1)
           version_params[v].clear();
         const data::Dataset& ds =
             *epoch_data[tp.client][static_cast<std::size_t>(tp.epoch)];
         update_fn_(tp.client, local, ds, round_base + tp.index);
-        std::size_t wire = 0;
+        // The upload travels as real bytes: the client encodes its trained
+        // parameters, the server decodes them — what aggregation sees is the
+        // decoded (possibly lossy) reconstruction. One buffer per worker
+        // thread; its capacity is retained across tasks.
+        static thread_local std::string wire_buf;
+        std::vector<Tensor> snap = local.snapshot();
+        const std::vector<Tensor>* ref = hold_ref ? &version_params[v] : nullptr;
+        wirep->encode(snap, ref, wire_buf);
+        wire_bytes[id] = wire_buf.size();
         task_updates[id].params =
-            roundtrip_through_bytes(local.snapshot(), &wire);
+            wirep->decode(wire_buf.data(), wire_buf.size(), ref);
+        if (lossy)
+          task_err[id] = wire_reconstruction_error(snap, task_updates[id].params);
+        if (hold_ref &&
+            version_refs[v].fetch_sub(1, std::memory_order_acq_rel) == 1)
+          version_params[v].clear();
         task_updates[id].dataset_size = ds.size();
         task_updates[id].staleness = tp.staleness;
-        wire_bytes[id] = wire;
         if (eval_in_task) task_local_acc[id] = eval_.accuracy(local);
       });
     }
@@ -657,9 +694,12 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
         futures[id].get();  // rethrows task failures
         updates.push_back(std::move(task_updates[id]));
         r.bytes_uplinked += wire_bytes[id];
+        r.encode_error += task_err[id];
         r.mean_staleness += double(plan.tasks[id].staleness);
         r.max_staleness = std::max(r.max_staleness, plan.tasks[id].staleness);
       }
+      r.upload_bytes = wire_bytes[ap.tasks.front()];
+      r.encode_error /= double(ap.tasks.size());
       if (agg.needs_mse()) {
         // grain=1: one body is a full-model MSE evaluation.
         sched_->parallel_map(
@@ -736,6 +776,13 @@ void Engine::run(Scenario scenario, const StepSink& sink) {
   if (!scenario.clock)
     scenario.clock = std::make_unique<VirtualClock>(
         cfg_.seed, cfg_.async.mean_duration, cfg_.async.duration_log_jitter);
+  if (!scenario.wire) scenario.wire = std::make_unique<DenseWire>();
+  // Announce the encoded upload size before Phase A builds the schedule:
+  // every wire's byte count is a pure function of parameter *shapes*, never
+  // values, so bandwidth-aware clocks can price uploads without the schedule
+  // ever depending on training results.
+  scenario.clock->set_upload_bytes(
+      scenario.wire->encoded_bytes(replica_template_.snapshot()));
 
   const Schedule plan = build_schedule(scenario);
   execute(scenario, plan, sink);

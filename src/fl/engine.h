@@ -124,7 +124,7 @@ struct AggregatorSwapEvent {
   std::string aggregator;
 };
 
-/// A complete execution scenario: the horizon, the three policies (null →
+/// A complete execution scenario: the horizon, the four policies (null →
 /// the legacy defaults derived from FlConfig), and the event timeline.
 /// Move-only; consumed by Engine::run (stateful policies such as
 /// AdaptiveBuffer are single-use by design).
@@ -134,6 +134,13 @@ struct Scenario {
   std::unique_ptr<ParticipationPolicy> participation;  ///< null → full
   std::unique_ptr<BufferPolicy> buffer;  ///< null → FixedBuffer(cfg.async)
   std::unique_ptr<ClockPolicy> clock;    ///< null → VirtualClock(cfg.async)
+  /// How uploads travel: each client task encodes its trained parameters to
+  /// actual bytes and the server decodes them before aggregation, so
+  /// StepResult byte counts are real and lossy wires genuinely perturb the
+  /// aggregate. Null → DenseWire (byte-true GFT1, bit-identical to the
+  /// pre-WirePolicy engine). The engine announces the encoded upload size
+  /// to the clock policy (ClockPolicy::set_upload_bytes) before Phase A.
+  std::unique_ptr<WirePolicy> wire;
   std::vector<DeletionEvent> deletions;
   std::vector<ClientJoinEvent> joins;
   std::vector<ClientLeaveEvent> leaves;
@@ -157,7 +164,18 @@ struct StepResult {
   double mean_staleness = 0.0;
   long max_staleness = 0;
   long dropped_updates = 0;   ///< cumulative evictions (deletions, leaves)
+  /// Encoded wire bytes of the consumed updates, summed — byte-true under
+  /// the scenario's WirePolicy (identical to the historical dense count
+  /// when no wire policy is set).
   std::size_t bytes_uplinked = 0;
+  /// Encoded bytes of a single upload under the scenario's WirePolicy
+  /// (constant within a run: encoded size is a pure function of shapes).
+  std::size_t upload_bytes = 0;
+  /// Mean relative L2 reconstruction error ‖decoded − trained‖/‖trained‖
+  /// over the consumed updates: the per-step loss the wire encoding
+  /// injected (0 for lossless wires). The accuracy-vs-bytes axis pairs this
+  /// with global_accuracy.
+  double encode_error = 0.0;
   std::size_t active_clients = 0;  ///< federation size after joins/leaves
   std::string aggregator;          ///< strategy that produced this step
   /// Per-client local accuracy over the consumed updates; populated only

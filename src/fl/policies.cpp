@@ -1,8 +1,10 @@
 #include "fl/policies.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "tensor/check.h"
+#include "tensor/serialize.h"
 
 namespace goldfish::fl {
 
@@ -17,6 +19,9 @@ constexpr std::uint64_t kSamplingSalt = 0x2545F4914F6CDD1Dull;
 /// from the same FlConfig draws bit-identical durations and replays the
 /// legacy golden schedules exactly.
 constexpr std::uint64_t kDurationSalt = 0x517CC1B727220A95ull;
+
+/// Salt of the per-client link-bandwidth draws (BandwidthClock).
+constexpr std::uint64_t kBandwidthSalt = 0xD6E8FEB86659FD93ull;
 
 }  // namespace
 
@@ -111,6 +116,174 @@ TraceClock::TraceClock(std::vector<std::vector<double>> traces)
 double TraceClock::duration(std::size_t client, long index) {
   const auto& trace = traces_[client % traces_.size()];
   return trace[static_cast<std::size_t>(index) % trace.size()];
+}
+
+BandwidthClock::BandwidthClock(std::unique_ptr<ClockPolicy> compute,
+                               double mean_bandwidth, double log_spread,
+                               std::uint64_t seed)
+    : compute_(std::move(compute)),
+      mean_(mean_bandwidth),
+      spread_(log_spread),
+      seed_(seed) {
+  GOLDFISH_CHECK(compute_ != nullptr, "bandwidth clock needs a compute clock");
+  GOLDFISH_CHECK(mean_bandwidth > 0.0,
+                 "bandwidth clock mean bandwidth must be positive");
+  GOLDFISH_CHECK(log_spread >= 0.0, "bandwidth clock log spread must be >= 0");
+}
+
+void BandwidthClock::set_upload_bytes(std::size_t bytes) {
+  bytes_ = bytes;
+  compute_->set_upload_bytes(bytes);
+}
+
+double BandwidthClock::bandwidth(std::size_t client) const {
+  // One draw per client, from its own collision-free stream: the link speed
+  // is a durable property of the device, not of the task.
+  Rng rng(mix_seed(seed_ ^ kBandwidthSalt, client, 0));
+  return mean_ * std::exp(spread_ * double(rng.normal()));
+}
+
+double BandwidthClock::duration(std::size_t client, long index) {
+  return compute_->duration(client, index) +
+         double(bytes_) / bandwidth(client);
+}
+
+// -- wire policies ----------------------------------------------------------
+
+namespace {
+
+/// Byte count of the shared list framing plus per-record headers: the part
+/// of every wire format that depends only on shapes.
+std::size_t header_bytes(const std::vector<Tensor>& like) {
+  std::size_t total = sizeof(std::uint32_t);  // tensor count
+  for (const Tensor& t : like)
+    total += 2 * sizeof(std::uint32_t) + t.rank() * sizeof(std::int64_t);
+  return total;
+}
+
+}  // namespace
+
+void DenseWire::encode(const std::vector<Tensor>& params,
+                       const std::vector<Tensor>*, std::string& out) const {
+  serialize_tensors(params, out);
+}
+
+std::vector<Tensor> DenseWire::decode(const char* data, std::size_t size,
+                                      const std::vector<Tensor>*) const {
+  return deserialize_tensors(data, size);
+}
+
+std::size_t DenseWire::encoded_bytes(const std::vector<Tensor>& like) const {
+  std::size_t total = header_bytes(like);
+  for (const Tensor& t : like) total += t.numel() * sizeof(float);
+  return total;
+}
+
+void QuantizedWire::encode(const std::vector<Tensor>& params,
+                           const std::vector<Tensor>*,
+                           std::string& out) const {
+  serialize_quantized(params, out);
+}
+
+std::vector<Tensor> QuantizedWire::decode(const char* data, std::size_t size,
+                                          const std::vector<Tensor>*) const {
+  return deserialize_quantized(data, size);
+}
+
+std::size_t QuantizedWire::encoded_bytes(
+    const std::vector<Tensor>& like) const {
+  std::size_t total = header_bytes(like);
+  for (const Tensor& t : like) total += 2 * sizeof(float) + t.numel();
+  return total;
+}
+
+TopKWire::TopKWire(double fraction) : fraction_(fraction) {
+  GOLDFISH_CHECK(fraction > 0.0 && fraction <= 1.0,
+                 "top-k fraction must be in (0, 1]");
+}
+
+void TopKWire::encode(const std::vector<Tensor>& params,
+                      const std::vector<Tensor>*, std::string& out) const {
+  serialize_topk(params, fraction_, out);
+}
+
+std::vector<Tensor> TopKWire::decode(const char* data, std::size_t size,
+                                     const std::vector<Tensor>*) const {
+  return deserialize_topk(data, size);
+}
+
+std::size_t TopKWire::encoded_bytes(const std::vector<Tensor>& like) const {
+  std::size_t total = header_bytes(like);
+  for (const Tensor& t : like)
+    total += sizeof(std::uint32_t) +
+             static_cast<std::size_t>(
+                 topk_count(static_cast<long>(t.numel()), fraction_)) *
+                 (sizeof(std::uint32_t) + sizeof(float));
+  return total;
+}
+
+namespace {
+
+/// The 4-byte upload-level prefix of a delta record ("GFD1"): what follows
+/// is the inner encoder's complete upload of (params − reference).
+constexpr char kDeltaMagic[4] = {'G', 'F', 'D', '1'};
+
+}  // namespace
+
+DeltaWire::DeltaWire(std::unique_ptr<WirePolicy> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) inner_ = std::make_unique<DenseWire>();
+  GOLDFISH_CHECK(!inner_->needs_reference(),
+                 "delta wires do not nest: the inner encoder must be "
+                 "reference-free");
+}
+
+void DeltaWire::encode(const std::vector<Tensor>& params,
+                       const std::vector<Tensor>* reference,
+                       std::string& out) const {
+  // Delta scratch, reused across calls (one per worker thread; its float
+  // storage recycles through the buffer pool inside an engine run).
+  static thread_local std::vector<Tensor> delta;
+  delta.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor& p = params[i];
+    delta[i].resize_uninit(p.shape());
+    float* d = delta[i].data();
+    if (reference != nullptr) {
+      GOLDFISH_CHECK(i < reference->size() && (*reference)[i].same_shape(p),
+                     "delta reference shape mismatch");
+      const float* r = (*reference)[i].data();
+      for (std::size_t j = 0; j < p.numel(); ++j) d[j] = p.data()[j] - r[j];
+    } else {
+      std::memcpy(d, p.data(), p.numel() * sizeof(float));
+    }
+  }
+  inner_->encode(delta, nullptr, out);
+  out.insert(0, kDeltaMagic, sizeof(kDeltaMagic));
+}
+
+std::vector<Tensor> DeltaWire::decode(const char* data, std::size_t size,
+                                      const std::vector<Tensor>* reference)
+    const {
+  GOLDFISH_CHECK(size >= sizeof(kDeltaMagic) &&
+                     std::memcmp(data, kDeltaMagic, sizeof(kDeltaMagic)) == 0,
+                 "bad delta record magic");
+  std::vector<Tensor> out = inner_->decode(data + sizeof(kDeltaMagic),
+                                           size - sizeof(kDeltaMagic), nullptr);
+  if (reference != nullptr) {
+    GOLDFISH_CHECK(reference->size() == out.size(),
+                   "delta reference tensor count mismatch");
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      GOLDFISH_CHECK((*reference)[i].same_shape(out[i]),
+                     "delta reference shape mismatch");
+      out[i] += (*reference)[i];
+    }
+  }
+  return out;
+}
+
+std::size_t DeltaWire::encoded_bytes(const std::vector<Tensor>& like) const {
+  return sizeof(kDeltaMagic) + inner_->encoded_bytes(like);
 }
 
 }  // namespace goldfish::fl

@@ -1,15 +1,20 @@
 // Pluggable server policies for the event-driven fl::Engine: who trains
 // toward each server version (ParticipationPolicy), how many buffered
-// updates trigger an aggregation (BufferPolicy), and how long each local
-// training task takes on the virtual timeline (ClockPolicy).
+// updates trigger an aggregation (BufferPolicy), how long each local
+// training task takes on the virtual timeline (ClockPolicy), and how each
+// upload travels the wire (WirePolicy: dense / quantized / top-k / delta
+// encodings with byte-true costs).
 //
 // Determinism contract (what makes Engine runs bit-identical at any thread
-// count): every policy is consulted only while the Engine builds its event
-// schedule — before any training runs — and must be a pure function of its
-// arguments plus construction-time state. Policies must not read wall-clock
-// time, thread ids, or training results; stateful policies (AdaptiveBuffer)
-// may only depend on the sequence of calls the schedule builder makes, which
-// is itself deterministic.
+// count): every schedule-side policy is consulted only while the Engine
+// builds its event schedule — before any training runs — and must be a pure
+// function of its arguments plus construction-time state. Policies must not
+// read wall-clock time, thread ids, or training results; stateful policies
+// (AdaptiveBuffer) may only depend on the sequence of calls the schedule
+// builder makes, which is itself deterministic. WirePolicy runs during
+// execution (it encodes trained parameters), but is a pure function of its
+// inputs and its *byte count* is a pure function of parameter shapes, so
+// schedules built from upload sizes stay training-independent.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "tensor/rng.h"
+#include "tensor/tensor.h"
 
 namespace goldfish::fl {
 
@@ -161,6 +167,13 @@ class ClockPolicy {
   /// its arguments and construction-time state.
   virtual double duration(std::size_t client, long index) = 0;
 
+  /// The byte-true size of one encoded upload under the scenario's
+  /// WirePolicy, announced by the Engine once per run before the schedule is
+  /// built (encoded size depends only on parameter shapes, never values, so
+  /// consuming it keeps Phase A deterministic). Bandwidth-aware clocks use
+  /// it to turn payload size into transfer time; the default ignores it.
+  virtual void set_upload_bytes(std::size_t bytes) { (void)bytes; }
+
   virtual std::string name() const = 0;
 };
 
@@ -196,6 +209,165 @@ class TraceClock final : public ClockPolicy {
 
  private:
   std::vector<std::vector<double>> traces_;
+};
+
+/// Bandwidth-aware clock: task duration = the inner clock's compute time +
+/// upload_bytes / the client's link bandwidth. Each client's bandwidth is
+/// drawn once from the seeded log-normal stream mean·exp(spread·N(0,1)), so
+/// slow links are *persistent* stragglers — and because the upload size
+/// comes from the scenario's WirePolicy, straggling emerges from payload
+/// size (a quantized upload is ~4x faster to ship than a dense one) instead
+/// of purely synthetic jitter.
+class BandwidthClock final : public ClockPolicy {
+ public:
+  /// `compute` supplies the local-training time (non-null, must not itself
+  /// need upload bytes redirected — it receives set_upload_bytes too, which
+  /// is a no-op for the stock clocks); `mean_bandwidth` is bytes per virtual
+  /// time unit (> 0); `log_spread` >= 0 (0 → every client gets exactly the
+  /// mean link).
+  BandwidthClock(std::unique_ptr<ClockPolicy> compute, double mean_bandwidth,
+                 double log_spread, std::uint64_t seed);
+
+  void set_upload_bytes(std::size_t bytes) override;
+  double duration(std::size_t client, long index) override;
+  std::string name() const override { return "bandwidth+" + compute_->name(); }
+
+  /// Client c's link bandwidth (bytes per virtual time unit); a pure seeded
+  /// function, exposed for tests.
+  double bandwidth(std::size_t client) const;
+
+ private:
+  std::unique_ptr<ClockPolicy> compute_;
+  double mean_;
+  double spread_;
+  std::uint64_t seed_;
+  std::size_t bytes_ = 0;
+};
+
+/// How a client's trained parameters travel to the server: each upload is
+/// encoded to actual bytes (the count the telemetry and bandwidth clocks
+/// see) and decoded server-side before aggregation. Encoders may be lossy —
+/// that is the accuracy-vs-bytes axis — but must be pure functions of their
+/// inputs, and their byte count must depend only on parameter *shapes* (so
+/// Phase A can price uploads before training runs). Wire formats are
+/// specified byte-for-byte in docs/wire-format.md.
+class WirePolicy {
+ public:
+  virtual ~WirePolicy() = default;
+
+  /// Encode `params` into `out` (cleared first, capacity reused across
+  /// calls). `reference` is the snapshot of the server version this client
+  /// downloaded — the broadcast both ends already share; null when the
+  /// encoder does not need one (needs_reference() == false) or, for tests,
+  /// to encode against an all-zero reference.
+  virtual void encode(const std::vector<Tensor>& params,
+                      const std::vector<Tensor>* reference,
+                      std::string& out) const = 0;
+
+  /// Decode a buffer produced by encode() with the same `reference`.
+  /// Throws on malformed or truncated input.
+  virtual std::vector<Tensor> decode(
+      const char* data, std::size_t size,
+      const std::vector<Tensor>* reference) const = 0;
+
+  /// Byte-true size of one encoded upload for parameters shaped like
+  /// `like` — a pure function of shapes, equal to what encode() will
+  /// produce. Feeds ClockPolicy::set_upload_bytes.
+  virtual std::size_t encoded_bytes(const std::vector<Tensor>& like) const = 0;
+
+  /// True when decode(encode(p)) == p bit-for-bit (the engine skips the
+  /// reconstruction-error measurement for lossless wires).
+  virtual bool lossless() const { return false; }
+
+  /// True when encode/decode consume the reference snapshot; the engine then
+  /// keeps the downloaded version's parameters alive through the task's wire
+  /// round-trip.
+  virtual bool needs_reference() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Today's behaviour, byte-true: the GFT1 dense framing of
+/// tensor/serialize.h, bit-exact on decode. The default when a Scenario
+/// sets no wire policy — runs are bit-identical to the pre-WirePolicy
+/// engine.
+class DenseWire final : public WirePolicy {
+ public:
+  void encode(const std::vector<Tensor>& params,
+              const std::vector<Tensor>* reference,
+              std::string& out) const override;
+  std::vector<Tensor> decode(const char* data, std::size_t size,
+                             const std::vector<Tensor>* reference)
+      const override;
+  std::size_t encoded_bytes(const std::vector<Tensor>& like) const override;
+  bool lossless() const override { return true; }
+  std::string name() const override { return "dense"; }
+};
+
+/// Int8 per-tensor affine quantization (the "GFQ1" record): ~4x smaller
+/// than dense, max per-element error of half a quantization step
+/// (range/510), deterministic round-half-away encoding.
+class QuantizedWire final : public WirePolicy {
+ public:
+  void encode(const std::vector<Tensor>& params,
+              const std::vector<Tensor>* reference,
+              std::string& out) const override;
+  std::vector<Tensor> decode(const char* data, std::size_t size,
+                             const std::vector<Tensor>* reference)
+      const override;
+  std::size_t encoded_bytes(const std::vector<Tensor>& like) const override;
+  std::string name() const override { return "quantized"; }
+};
+
+/// Top-k magnitude sparsification (the "GFK1" record): per tensor, keep the
+/// ceil(fraction·numel) entries of largest magnitude as (index, value)
+/// pairs; everything else decodes to zero. 8 bytes per kept entry, so
+/// fraction 0.25 halves the dense payload and 0.1 cuts it 5x.
+class TopKWire final : public WirePolicy {
+ public:
+  /// `fraction` ∈ (0, 1]: the per-tensor fraction of entries kept.
+  explicit TopKWire(double fraction);
+
+  void encode(const std::vector<Tensor>& params,
+              const std::vector<Tensor>* reference,
+              std::string& out) const override;
+  std::vector<Tensor> decode(const char* data, std::size_t size,
+                             const std::vector<Tensor>* reference)
+      const override;
+  std::size_t encoded_bytes(const std::vector<Tensor>& like) const override;
+  std::string name() const override { return "topk"; }
+
+  double fraction() const { return fraction_; }
+
+ private:
+  double fraction_;
+};
+
+/// Delta encoding vs the client's last broadcast (the "GFD1" record): what
+/// travels is inner.encode(params − reference), and the server adds the
+/// reference back after inner decode — both ends already hold the broadcast
+/// version, so the delta itself never costs extra bytes. Composes with the
+/// other encoders (quantizing or sparsifying a delta is far gentler than
+/// doing so to raw weights, because post-training deltas have a much
+/// smaller dynamic range). A null reference encodes against zeros.
+class DeltaWire final : public WirePolicy {
+ public:
+  /// `inner` encodes the delta itself; null → DenseWire (exact deltas). The
+  /// inner wire must not itself need a reference.
+  explicit DeltaWire(std::unique_ptr<WirePolicy> inner = nullptr);
+
+  void encode(const std::vector<Tensor>& params,
+              const std::vector<Tensor>* reference,
+              std::string& out) const override;
+  std::vector<Tensor> decode(const char* data, std::size_t size,
+                             const std::vector<Tensor>* reference)
+      const override;
+  std::size_t encoded_bytes(const std::vector<Tensor>& like) const override;
+  bool needs_reference() const override { return true; }
+  std::string name() const override { return "delta+" + inner_->name(); }
+
+ private:
+  std::unique_ptr<WirePolicy> inner_;
 };
 
 }  // namespace goldfish::fl

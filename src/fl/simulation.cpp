@@ -25,6 +25,8 @@ AsyncRoundResult to_async_result(const StepResult& s) {
   r.updates_consumed = s.updates_consumed;
   r.dropped_updates = s.dropped_updates;
   r.bytes_uplinked = s.bytes_uplinked;
+  r.upload_bytes = s.upload_bytes;
+  r.encode_error = s.encode_error;
   return r;
 }
 

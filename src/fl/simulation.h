@@ -45,6 +45,12 @@ struct AsyncRoundResult {
   /// client's buffered updates and void its in-flight task.
   long dropped_updates = 0;
   std::size_t bytes_uplinked = 0;  ///< wire bytes of the consumed updates
+  /// Encoded bytes of a single upload under the run's WirePolicy (constant
+  /// within a run; dense GFT1 for the canned bundles).
+  std::size_t upload_bytes = 0;
+  /// Mean relative L2 error the wire encoding injected into the consumed
+  /// updates (0 for the canned bundles' lossless dense wire).
+  double encode_error = 0.0;
 };
 
 /// The engine's DeletionEvent under its historical name: a deletion request

@@ -1,8 +1,11 @@
 #include "tensor/serialize.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <numeric>
 
 #include "tensor/check.h"
 
@@ -10,7 +13,9 @@ namespace goldfish {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x31544647;  // "GFT1"
+constexpr std::uint32_t kMagic = 0x31544647;      // "GFT1"
+constexpr std::uint32_t kQuantMagic = 0x31514647;  // "GFQ1"
+constexpr std::uint32_t kTopKMagic = 0x314B4647;   // "GFK1"
 
 void write_u32(std::ostream& os, std::uint32_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -159,6 +164,175 @@ std::vector<Tensor> roundtrip_through_bytes(const std::vector<Tensor>& ts,
   serialize_tensors(ts, wire);
   if (bytes_on_wire != nullptr) *bytes_on_wire = wire.size();
   return deserialize_tensors(wire.data(), wire.size());
+}
+
+// -- compressed wire records ------------------------------------------------
+
+namespace {
+
+/// Shared per-record prefix of every wire record kind: magic, rank, dims.
+void append_record_header(std::string& out, std::uint32_t magic,
+                          const Tensor& t) {
+  append(out, magic);
+  append(out, static_cast<std::uint32_t>(t.rank()));
+  for (std::size_t i = 0; i < t.rank(); ++i)
+    append(out, static_cast<std::int64_t>(t.dim(i)));
+}
+
+/// Reads the record prefix written by append_record_header and returns the
+/// (still uninitialized) tensor of the recorded shape.
+Tensor read_record_header(ByteReader& r, std::uint32_t magic,
+                          const char* what) {
+  GOLDFISH_CHECK(r.take<std::uint32_t>() == magic,
+                 std::string("bad ") + what + " record magic");
+  const std::uint32_t rank = r.take<std::uint32_t>();
+  GOLDFISH_CHECK(rank <= 8, "implausible tensor rank");
+  Shape shape(rank);
+  for (std::uint32_t d = 0; d < rank; ++d) {
+    shape[d] = static_cast<long>(r.take<std::int64_t>());
+    GOLDFISH_CHECK(shape[d] >= 0 && shape[d] < (1L << 32), "bad dim");
+  }
+  return Tensor::uninit(std::move(shape));
+}
+
+}  // namespace
+
+void serialize_quantized(const std::vector<Tensor>& ts, std::string& out) {
+  out.clear();
+  std::size_t total = sizeof(std::uint32_t);
+  for (const Tensor& t : ts)
+    total += 2 * sizeof(std::uint32_t) + t.rank() * sizeof(std::int64_t) +
+             2 * sizeof(float) + t.numel();
+  out.reserve(total);
+  append(out, static_cast<std::uint32_t>(ts.size()));
+  for (const Tensor& t : ts) {
+    append_record_header(out, kQuantMagic, t);
+    const float mn = t.empty() ? 0.0f : t.min();
+    const float mx = t.empty() ? 0.0f : t.max();
+    const float scale = (mx - mn) / 255.0f;
+    append(out, mn);
+    append(out, scale);
+    const float* p = t.data();
+    const std::size_t base = out.size();
+    out.resize(base + t.numel());
+    char* q = &out[base];
+    if (scale > 0.0f) {
+      const float inv = 1.0f / scale;
+      for (std::size_t i = 0; i < t.numel(); ++i) {
+        // lround ties away from zero regardless of the FP rounding mode, so
+        // the encoding is deterministic across machines; the clamp absorbs
+        // (v − mn)/s landing a ULP above 255.
+        const long level = std::lround((p[i] - mn) * inv);
+        q[i] = static_cast<char>(
+            static_cast<unsigned char>(std::clamp(level, 0L, 255L)));
+      }
+    } else {
+      std::memset(q, 0, t.numel());  // constant tensor: everything is mn
+    }
+  }
+}
+
+std::vector<Tensor> deserialize_quantized(const char* data, std::size_t size) {
+  ByteReader r{data, size};
+  const std::uint32_t n = r.take<std::uint32_t>();
+  GOLDFISH_CHECK(n < (1u << 20), "implausible tensor count");
+  std::vector<Tensor> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Tensor t = read_record_header(r, kQuantMagic, "quantized");
+    const float mn = r.take<float>();
+    const float scale = r.take<float>();
+    GOLDFISH_CHECK(r.left >= t.numel(), "truncated quantized payload");
+    float* p = t.data();
+    for (std::size_t j = 0; j < t.numel(); ++j)
+      p[j] = mn + float(static_cast<unsigned char>(r.p[j])) * scale;
+    r.p += t.numel();
+    r.left -= t.numel();
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+long topk_count(long numel, double fraction) {
+  if (numel <= 0) return 0;
+  const long k = static_cast<long>(std::ceil(fraction * double(numel)));
+  return std::clamp(k, 1L, numel);
+}
+
+void serialize_topk(const std::vector<Tensor>& ts, double fraction,
+                    std::string& out) {
+  GOLDFISH_CHECK(fraction > 0.0 && fraction <= 1.0,
+                 "top-k fraction must be in (0, 1]");
+  out.clear();
+  std::size_t total = sizeof(std::uint32_t);
+  for (const Tensor& t : ts)
+    total += 3 * sizeof(std::uint32_t) + t.rank() * sizeof(std::int64_t) +
+             static_cast<std::size_t>(topk_count(long(t.numel()), fraction)) *
+                 (sizeof(std::uint32_t) + sizeof(float));
+  out.reserve(total);
+  append(out, static_cast<std::uint32_t>(ts.size()));
+  // Selection scratch, reused across tensors and calls (the FL upload path
+  // encodes inside scheduler tasks, one buffer per worker thread).
+  static thread_local std::vector<std::uint32_t> order;
+  for (const Tensor& t : ts) {
+    GOLDFISH_CHECK(t.numel() < (1ULL << 32), "tensor too large for top-k");
+    append_record_header(out, kTopKMagic, t);
+    const long k = topk_count(static_cast<long>(t.numel()), fraction);
+    append(out, static_cast<std::uint32_t>(k));
+    const float* p = t.data();
+    order.resize(t.numel());
+    std::iota(order.begin(), order.end(), 0u);
+    // Strict total order (|value| descending, flat index ascending as the
+    // tie-break), so the kept set — and therefore the byte stream — is
+    // unique no matter how nth_element partitions.
+    const auto larger = [p](std::uint32_t a, std::uint32_t b) {
+      const float fa = std::fabs(p[a]), fb = std::fabs(p[b]);
+      if (fa != fb) return fa > fb;
+      return a < b;
+    };
+    if (static_cast<std::size_t>(k) < order.size())
+      std::nth_element(order.begin(), order.begin() + k, order.end(), larger);
+    std::sort(order.begin(), order.begin() + k);  // canonical: ascending index
+    for (long j = 0; j < k; ++j) append(out, order[static_cast<std::size_t>(j)]);
+    for (long j = 0; j < k; ++j)
+      append(out, p[order[static_cast<std::size_t>(j)]]);
+  }
+}
+
+std::vector<Tensor> deserialize_topk(const char* data, std::size_t size) {
+  ByteReader r{data, size};
+  const std::uint32_t n = r.take<std::uint32_t>();
+  GOLDFISH_CHECK(n < (1u << 20), "implausible tensor count");
+  std::vector<Tensor> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Tensor t = read_record_header(r, kTopKMagic, "top-k");
+    const std::uint32_t k = r.take<std::uint32_t>();
+    GOLDFISH_CHECK(k <= t.numel(), "top-k k exceeds element count");
+    GOLDFISH_CHECK(r.left >= std::size_t(k) * (sizeof(std::uint32_t) +
+                                               sizeof(float)),
+                   "truncated top-k payload");
+    std::memset(t.data(), 0, t.numel() * sizeof(float));
+    const char* idx_bytes = r.p;
+    const char* val_bytes = r.p + std::size_t(k) * sizeof(std::uint32_t);
+    std::uint32_t prev = 0;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      std::uint32_t idx;
+      float val;
+      std::memcpy(&idx, idx_bytes + std::size_t(j) * sizeof(idx), sizeof(idx));
+      std::memcpy(&val, val_bytes + std::size_t(j) * sizeof(val), sizeof(val));
+      GOLDFISH_CHECK(idx < t.numel(), "top-k index out of range");
+      GOLDFISH_CHECK(j == 0 || idx > prev, "top-k indices not ascending");
+      prev = idx;
+      t.data()[idx] = val;
+    }
+    const std::size_t payload =
+        std::size_t(k) * (sizeof(std::uint32_t) + sizeof(float));
+    r.p += payload;
+    r.left -= payload;
+    out.push_back(std::move(t));
+  }
+  return out;
 }
 
 }  // namespace goldfish

@@ -2,7 +2,9 @@
 //
 // Format: little-endian, magic "GFT1", rank, dims, raw float payload. Used
 // for model checkpoints (shard snapshots in the optimization module) and for
-// shipping client updates through the in-process FL "network".
+// shipping client updates through the in-process FL "network". Compressed
+// wire records ("GFQ1" int8 quantization, "GFK1" top-k sparsification) share
+// the same list framing; the full byte-level spec is docs/wire-format.md.
 #pragma once
 
 #include <iosfwd>
@@ -39,5 +41,41 @@ std::vector<Tensor> deserialize_tensors(const char* data, std::size_t size);
 /// The wire buffer is thread_local and reused across calls.
 std::vector<Tensor> roundtrip_through_bytes(const std::vector<Tensor>& ts,
                                             std::size_t* bytes_on_wire);
+
+// -- compressed wire records (docs/wire-format.md) --------------------------
+//
+// Same list framing as serialize_tensors (count:u32, then one record per
+// tensor), but lossy per-tensor payloads. Encoded byte counts are pure
+// functions of the tensor *shapes* — never their values — which is what lets
+// the FL engine feed byte-true upload sizes to bandwidth-aware clock
+// policies before any training has run (fl/policies.h).
+
+/// Int8 per-tensor affine quantization ("GFQ1"): each tensor is stored as
+/// its [min, max] range plus one byte per element, q = round((v − min)/s)
+/// with s = (max − min)/255. Rounding is std::lround (ties away from zero,
+/// independent of the FP rounding mode), so encodings are bit-reproducible
+/// across machines. Constant tensors (max == min) decode exactly.
+void serialize_quantized(const std::vector<Tensor>& ts, std::string& out);
+
+/// Parse a "GFQ1" buffer back into dequantized float tensors
+/// (v = min + q·s). Throws on malformed or truncated input.
+std::vector<Tensor> deserialize_quantized(const char* data, std::size_t size);
+
+/// Top-k magnitude sparsification ("GFK1"): per tensor, keep the
+/// topk_count(numel, fraction) entries of largest |v| (ties broken toward
+/// the lower flat index, so the kept set is unique) as ascending
+/// (index:u32, value:f32) pairs; dropped entries decode to zero.
+void serialize_topk(const std::vector<Tensor>& ts, double fraction,
+                    std::string& out);
+
+/// Parse a "GFK1" buffer back into dense tensors (zeros + scatter). Throws
+/// on malformed or truncated input (bad magic, k > numel, out-of-range or
+/// non-ascending indices).
+std::vector<Tensor> deserialize_topk(const char* data, std::size_t size);
+
+/// The k used for one tensor of `numel` elements at `fraction` ∈ (0, 1]:
+/// ceil(fraction·numel), at least 1 for non-empty tensors. Shared by the
+/// encoder and the byte-size predictors so the two can never disagree.
+long topk_count(long numel, double fraction);
 
 }  // namespace goldfish

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "tensor/serialize.h"
@@ -103,6 +104,180 @@ TEST(Serialize, DeserializeRejectsCorruptBuffers) {
   std::string bad = buf;
   bad[4] ^= 0x5A;  // corrupt the first tensor's magic
   EXPECT_THROW(deserialize_tensors(bad.data(), bad.size()), CheckError);
+}
+
+// -- compressed wire records (GFQ1 / GFK1) ----------------------------------
+//
+// The byte-level fixtures below are the executable counterpart of
+// docs/wire-format.md: every offset and value asserted here appears in the
+// spec's worked examples. Changing the wire format must update both.
+
+namespace fixtures {
+
+void append_u32(std::string& s, std::uint32_t v) {
+  s.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void append_i64(std::string& s, std::int64_t v) {
+  s.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void append_f32(std::string& s, float v) {
+  s.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace fixtures
+
+TEST(SerializeQuantized, ByteLayoutMatchesSpecFixture) {
+  // docs/wire-format.md, "GFQ1 worked example": [0, 1, 2, 3] as shape {4}.
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::from({0, 1, 2, 3}));
+
+  std::string expect;
+  fixtures::append_u32(expect, 1);           // list: tensor count
+  fixtures::append_u32(expect, 0x31514647);  // "GFQ1"
+  fixtures::append_u32(expect, 1);           // rank
+  fixtures::append_i64(expect, 4);           // dims[0]
+  fixtures::append_f32(expect, 0.0f);        // min
+  fixtures::append_f32(expect, 3.0f / 255.0f);  // scale = (max-min)/255
+  // levels: lround((v - min)/scale) = 0, 85, 170, 255
+  expect.push_back(char(0x00));
+  expect.push_back(char(0x55));
+  expect.push_back(char(0xAA));
+  expect.push_back(char(0xFF));
+
+  std::string got;
+  serialize_quantized(ts, got);
+  EXPECT_EQ(got, expect);
+
+  const auto back = deserialize_quantized(got.data(), got.size());
+  ASSERT_EQ(back.size(), 1u);
+  ASSERT_TRUE(back[0].same_shape(ts[0]));
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(back[0][i], ts[0][i], 3.0 / 255.0 / 2.0 + 1e-6);
+}
+
+TEST(SerializeQuantized, ErrorBoundedByHalfStepAndEndpointsExact) {
+  Rng rng(21);
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::randn({37, 11}, rng));
+  ts.push_back(Tensor::randn({253}, rng));
+  std::string buf;
+  serialize_quantized(ts, buf);
+  const auto back = deserialize_quantized(buf.data(), buf.size());
+  ASSERT_EQ(back.size(), ts.size());
+  for (std::size_t t = 0; t < ts.size(); ++t) {
+    const float mn = ts[t].min(), mx = ts[t].max();
+    const float half_step = (mx - mn) / 255.0f / 2.0f;
+    for (std::size_t i = 0; i < ts[t].numel(); ++i)
+      EXPECT_NEAR(back[t][i], ts[t][i], half_step * 1.001f + 1e-7f);
+    // The range minimum maps to level 0 and decodes to exactly `min`.
+    EXPECT_EQ(back[t].min(), mn);
+  }
+}
+
+TEST(SerializeQuantized, ConstantTensorDecodesExactly) {
+  // max == min → scale 0: every element encodes as level 0 and decodes to
+  // exactly the constant (the scale > 0 branch would divide by zero).
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::full({5, 5}, 2.75f));
+  std::string buf;
+  serialize_quantized(ts, buf);
+  const auto back = deserialize_quantized(buf.data(), buf.size());
+  for (std::size_t i = 0; i < back[0].numel(); ++i)
+    EXPECT_EQ(back[0][i], 2.75f);
+}
+
+TEST(SerializeQuantized, RejectsCorruptBuffers) {
+  Rng rng(22);
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::randn({16}, rng));
+  std::string buf;
+  serialize_quantized(ts, buf);
+  EXPECT_THROW(deserialize_quantized(buf.data(), buf.size() - 3), CheckError);
+  std::string bad = buf;
+  bad[4] ^= 0x5A;  // corrupt the record magic
+  EXPECT_THROW(deserialize_quantized(bad.data(), bad.size()), CheckError);
+  // A dense GFT1 buffer is not a quantized one.
+  std::string dense;
+  serialize_tensors(ts, dense);
+  EXPECT_THROW(deserialize_quantized(dense.data(), dense.size()), CheckError);
+}
+
+TEST(SerializeTopK, ByteLayoutMatchesSpecFixture) {
+  // docs/wire-format.md, "GFK1 worked example": [0.5, -2, 1, 0, -0.25, 3]
+  // at fraction 1/3 → k = 2; survivors by |value| are 3 (index 5) and −2
+  // (index 1), stored in ascending index order.
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::from({0.5f, -2.0f, 1.0f, 0.0f, -0.25f, 3.0f}));
+
+  std::string expect;
+  fixtures::append_u32(expect, 1);           // list: tensor count
+  fixtures::append_u32(expect, 0x314B4647);  // "GFK1"
+  fixtures::append_u32(expect, 1);           // rank
+  fixtures::append_i64(expect, 6);           // dims[0]
+  fixtures::append_u32(expect, 2);           // k
+  fixtures::append_u32(expect, 1);           // indices, ascending
+  fixtures::append_u32(expect, 5);
+  fixtures::append_f32(expect, -2.0f);       // values, in index order
+  fixtures::append_f32(expect, 3.0f);
+
+  std::string got;
+  serialize_topk(ts, 1.0 / 3.0, got);
+  EXPECT_EQ(got, expect);
+
+  const auto back = deserialize_topk(got.data(), got.size());
+  ASSERT_EQ(back.size(), 1u);
+  const float want[6] = {0.0f, -2.0f, 0.0f, 0.0f, 0.0f, 3.0f};
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(back[0][i], want[i]);
+}
+
+TEST(SerializeTopK, MagnitudeTiesKeepLowestIndex) {
+  // Strict total order: equal magnitudes break toward the lower flat index,
+  // so the kept set (and the byte stream) is unique.
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::from({1, -1, 1, 1}));
+  std::string buf;
+  serialize_topk(ts, 0.5, buf);
+  const auto back = deserialize_topk(buf.data(), buf.size());
+  EXPECT_EQ(back[0][0], 1.0f);
+  EXPECT_EQ(back[0][1], -1.0f);
+  EXPECT_EQ(back[0][2], 0.0f);
+  EXPECT_EQ(back[0][3], 0.0f);
+}
+
+TEST(SerializeTopK, CountClampsAndValidates) {
+  EXPECT_EQ(topk_count(0, 0.5), 0);     // empty tensor: no entries
+  EXPECT_EQ(topk_count(100, 0.01), 1);  // ceil
+  EXPECT_EQ(topk_count(100, 0.001), 1); // never below 1 for non-empty
+  EXPECT_EQ(topk_count(100, 1.0), 100);
+  EXPECT_EQ(topk_count(3, 0.5), 2);     // ceil(1.5)
+
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::from({1, 2}));
+  std::string buf;
+  EXPECT_THROW(serialize_topk(ts, 0.0, buf), CheckError);
+  EXPECT_THROW(serialize_topk(ts, 1.5, buf), CheckError);
+}
+
+TEST(SerializeTopK, RejectsCorruptBuffers) {
+  Rng rng(23);
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::randn({32}, rng));
+  std::string buf;
+  serialize_topk(ts, 0.25, buf);
+  EXPECT_THROW(deserialize_topk(buf.data(), buf.size() - 5), CheckError);
+  std::string bad = buf;
+  bad[4] ^= 0x5A;  // corrupt the record magic
+  EXPECT_THROW(deserialize_topk(bad.data(), bad.size()), CheckError);
+  // Swap the two first (ascending) indices: the stream is non-canonical.
+  std::string swapped;
+  serialize_topk(ts, 0.25, swapped);
+  const std::size_t idx0 = 4 + 4 + 4 + 8 + 4;  // count+magic+rank+dim+k
+  std::uint32_t a, b;
+  std::memcpy(&a, swapped.data() + idx0, 4);
+  std::memcpy(&b, swapped.data() + idx0 + 4, 4);
+  std::memcpy(&swapped[idx0], &b, 4);
+  std::memcpy(&swapped[idx0 + 4], &a, 4);
+  EXPECT_THROW(deserialize_topk(swapped.data(), swapped.size()), CheckError);
 }
 
 TEST(Serialize, RoundtripThroughBytesCountsWire) {

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Docs link check: fail CI when a Markdown file has a dead relative link.
+
+Usage: check_doc_links.py [REPO_ROOT]
+
+Walks every *.md file in the repo (skipping build output and .git), extracts
+inline Markdown links and images [text](target), and verifies that each
+relative target exists on disk, resolved against the file's directory.
+Anchors (#section) are stripped before the check; absolute URLs (http:,
+https:, mailto:) are out of scope — this gate is about the repo's own docs
+staying navigable as files move.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "third_party", "node_modules"}
+
+# Inline links/images: [text](target) — tolerates one level of nested
+# brackets in the text, stops the target at the first ')' or whitespace
+# (titles like [x](y "t") keep working: the path part is what we check).
+LINK_RE = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(\s*<?([^)<>\s]+)>?")
+
+
+def is_external(target: str) -> bool:
+    return re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target) is not None
+
+
+def check_file(root: str, md_path: str) -> list:
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    # Fenced code blocks routinely contain [x](y)-shaped non-links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if is_external(target):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:  # pure in-page anchor
+            continue
+        if path.startswith("/"):
+            resolved = os.path.join(root, path.lstrip("/"))
+        else:
+            resolved = os.path.join(os.path.dirname(md_path), path)
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(md_path, root)
+            errors.append(f"{rel}: dead link '{target}'")
+    return errors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    checked = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                checked += 1
+                errors.extend(check_file(root, os.path.join(dirpath, name)))
+    if errors:
+        print(f"Docs link check FAILED ({checked} files):", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+    print(f"Docs link check passed ({checked} Markdown files).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
