@@ -45,6 +45,11 @@ PoisonResult poison_dataset(const Dataset& clean, const BackdoorSpec& spec,
   return out;
 }
 
+void flip_labels(Dataset& ds) {
+  GOLDFISH_CHECK(ds.num_classes > 0, "flip_labels needs num_classes");
+  for (long& y : ds.labels) y = ds.num_classes - 1 - y;
+}
+
 Dataset make_trigger_probe(const Dataset& test, const BackdoorSpec& spec) {
   std::vector<std::size_t> keep;
   for (std::size_t i = 0; i < test.labels.size(); ++i)

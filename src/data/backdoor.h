@@ -41,4 +41,10 @@ PoisonResult poison_dataset(const Dataset& clean, const BackdoorSpec& spec,
 /// the target label.
 Dataset make_trigger_probe(const Dataset& test, const BackdoorSpec& spec);
 
+/// Label-flipping attack: every label y becomes num_classes−1−y in place —
+/// the classic untargeted data poisoning (a hostile client trains on
+/// systematically wrong labels). An involution: flipping twice restores the
+/// original labels.
+void flip_labels(Dataset& ds);
+
 }  // namespace goldfish::data

@@ -1,20 +1,49 @@
 #include "fl/aggregation.h"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "tensor/check.h"
 
 namespace goldfish::fl {
 
-std::vector<Tensor> Aggregator::aggregate(
-    const std::vector<ClientUpdate>& updates) const {
+namespace {
+
+/// Per-update multiplier with the all-ones null convention.
+inline float mult_at(const std::vector<float>* multipliers, std::size_t i) {
+  return multipliers ? (*multipliers)[i] : 1.0f;
+}
+
+void check_multipliers(const std::vector<ClientUpdate>& updates,
+                       const std::vector<float>* multipliers) {
   GOLDFISH_CHECK(!updates.empty(), "no updates to aggregate");
+  GOLDFISH_CHECK(!multipliers || multipliers->size() == updates.size(),
+                 "multiplier count mismatch");
+}
+
+}  // namespace
+
+std::vector<float> Aggregator::weights(
+    const std::vector<ClientUpdate>&) const {
+  throw std::logic_error("fl::Aggregator: '" + name() +
+                         "' has no per-update scalar weights (coordinate-"
+                         "wise robust strategies override aggregate())");
+}
+
+std::vector<Tensor> Aggregator::aggregate(
+    const std::vector<ClientUpdate>& updates,
+    const std::vector<float>* multipliers) const {
+  check_multipliers(updates, multipliers);
   // Snapshots are borrowed, not copied: the historical per-round clone of
   // every client's full parameter set is gone.
   std::vector<const std::vector<Tensor>*> snaps;
   snaps.reserve(updates.size());
   for (const ClientUpdate& u : updates) snaps.push_back(&u.params);
-  return nn::weighted_average(snaps, weights(updates));
+  std::vector<float> w = weights(updates);
+  if (multipliers)
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] *= (*multipliers)[i];
+  return nn::weighted_average(snaps, w);
 }
 
 std::vector<float> FedAvgAggregator::weights(
@@ -61,6 +90,204 @@ std::vector<float> AdaptiveAggregator::weights(
   return weights_from_mse(mses);
 }
 
+// -- Krum / multi-Krum ------------------------------------------------------
+
+KrumAggregator::KrumAggregator(long f, long m) : f_(f), m_(m) {
+  GOLDFISH_CHECK(f_ >= 0, "krum f must be >= 0");
+  GOLDFISH_CHECK(m_ >= 1, "krum selection size m must be >= 1");
+}
+
+std::vector<double> KrumAggregator::scores(
+    const std::vector<ClientUpdate>& updates, long f) {
+  const long n = static_cast<long>(updates.size());
+  GOLDFISH_CHECK(n > f + 2,
+                 "krum needs n >= f+3 updates per aggregation (scoring sums "
+                 "each update's n-f-2 nearest neighbours)");
+  // Symmetric pairwise squared distances, computed once.
+  std::vector<float> dist(static_cast<std::size_t>(n * n), 0.0f);
+  for (long i = 0; i < n; ++i)
+    for (long j = i + 1; j < n; ++j) {
+      const float d = nn::snapshot_distance_sq(
+          updates[static_cast<std::size_t>(i)].params,
+          updates[static_cast<std::size_t>(j)].params);
+      dist[static_cast<std::size_t>(i * n + j)] = d;
+      dist[static_cast<std::size_t>(j * n + i)] = d;
+    }
+  const long keep = n - f - 2;
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  std::vector<float> row(static_cast<std::size_t>(n - 1));
+  for (long i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (long j = 0; j < n; ++j)
+      if (j != i) row[r++] = dist[static_cast<std::size_t>(i * n + j)];
+    // Ascending partial order, summed smallest-first so the score is a
+    // deterministic function of the distance multiset.
+    std::sort(row.begin(), row.end());
+    double s = 0.0;
+    for (long k = 0; k < keep; ++k) s += double(row[static_cast<std::size_t>(k)]);
+    out[static_cast<std::size_t>(i)] = s;
+  }
+  return out;
+}
+
+std::vector<Tensor> KrumAggregator::aggregate(
+    const std::vector<ClientUpdate>& updates,
+    const std::vector<float>* multipliers) const {
+  check_multipliers(updates, multipliers);
+  const std::vector<double> sc = scores(updates, f_);
+  const std::size_t n = updates.size();
+  // m lowest scores, ties broken by arrival index (the sort is over
+  // (score, index) pairs, so selection is fully deterministic).
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (sc[a] != sc[b]) return sc[a] < sc[b];
+    return a < b;
+  });
+  const std::size_t m = std::min(static_cast<std::size_t>(m_), n);
+  // Selection is a 0/1 mask (x multipliers), so the averaging itself rides
+  // the shared borrowed-view fast path.
+  std::vector<float> w(n, 0.0f);
+  for (std::size_t k = 0; k < m; ++k)
+    w[order[k]] = mult_at(multipliers, order[k]);
+  std::vector<const std::vector<Tensor>*> snaps;
+  snaps.reserve(n);
+  for (const ClientUpdate& u : updates) snaps.push_back(&u.params);
+  return nn::weighted_average(snaps, w);
+}
+
+// -- coordinate-wise trimmed mean and median --------------------------------
+
+TrimmedMeanAggregator::TrimmedMeanAggregator(double fraction)
+    : fraction_(fraction) {
+  GOLDFISH_CHECK(fraction_ >= 0.0 && fraction_ < 0.5,
+                 "trim fraction must be in [0, 0.5)");
+}
+
+std::vector<Tensor> TrimmedMeanAggregator::aggregate(
+    const std::vector<ClientUpdate>& updates,
+    const std::vector<float>* multipliers) const {
+  check_multipliers(updates, multipliers);
+  const std::size_t n = updates.size();
+  const std::size_t k =
+      static_cast<std::size_t>(fraction_ * double(n));  // per side
+  GOLDFISH_CHECK(n > 2 * k, "trimmed-mean trimmed every update away");
+
+  const std::vector<Tensor>& like = updates[0].params;
+  std::vector<Tensor> out;
+  out.reserve(like.size());
+  // (value, update index) pairs per coordinate: the index both breaks value
+  // ties deterministically and carries the update's multiplier through the
+  // sort.
+  std::vector<std::pair<float, std::size_t>> col(n);
+  for (std::size_t t = 0; t < like.size(); ++t) {
+    Tensor acc = Tensor::uninit(like[t].shape());
+    float* dst = acc.data();
+    for (std::size_t j = 0; j < like[t].numel(); ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        GOLDFISH_CHECK(updates[i].params[t].same_shape(like[t]),
+                       "snapshot shape mismatch");
+        col[i] = {updates[i].params[t][j], i};
+      }
+      std::sort(col.begin(), col.end());
+      double num = 0.0, den = 0.0;
+      for (std::size_t i = k; i < n - k; ++i) {
+        const double w = double(mult_at(multipliers, col[i].second));
+        num += w * double(col[i].first);
+        den += w;
+      }
+      GOLDFISH_CHECK(den > 0.0, "trimmed-mean weights sum to zero");
+      dst[j] = static_cast<float>(num / den);
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+std::vector<Tensor> MedianAggregator::aggregate(
+    const std::vector<ClientUpdate>& updates,
+    const std::vector<float>* multipliers) const {
+  check_multipliers(updates, multipliers);
+  (void)multipliers;  // an order statistic is scale-free; decay is ignored
+  const std::size_t n = updates.size();
+  const std::vector<Tensor>& like = updates[0].params;
+  std::vector<Tensor> out;
+  out.reserve(like.size());
+  std::vector<float> col(n);
+  for (std::size_t t = 0; t < like.size(); ++t) {
+    Tensor acc = Tensor::uninit(like[t].shape());
+    float* dst = acc.data();
+    for (std::size_t j = 0; j < like[t].numel(); ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        GOLDFISH_CHECK(updates[i].params[t].same_shape(like[t]),
+                       "snapshot shape mismatch");
+        col[i] = updates[i].params[t][j];
+      }
+      std::sort(col.begin(), col.end());
+      dst[j] = (n % 2 == 1) ? col[n / 2]
+                            : 0.5f * (col[n / 2 - 1] + col[n / 2]);
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+// -- norm clipping ----------------------------------------------------------
+
+NormClipAggregator::NormClipAggregator(double clip) : clip_(clip) {
+  GOLDFISH_CHECK(clip_ > 0.0, "clip norm must be positive");
+}
+
+double NormClipAggregator::snapshot_norm(const std::vector<Tensor>& params) {
+  double acc = 0.0;
+  for (const Tensor& t : params)
+    for (std::size_t j = 0; j < t.numel(); ++j)
+      acc += double(t[j]) * double(t[j]);
+  return std::sqrt(acc);
+}
+
+std::vector<Tensor> NormClipAggregator::aggregate(
+    const std::vector<ClientUpdate>& updates,
+    const std::vector<float>* multipliers) const {
+  check_multipliers(updates, multipliers);
+  const std::size_t n = updates.size();
+  // Multiplier normalization mirrors nn::weighted_average exactly (float
+  // total, first snapshot written in place, the rest axpy-accumulated), so
+  // with every clip factor at 1 the result is bit-identical to the uniform
+  // average. Clip factors scale each normalized weight afterwards — they
+  // deliberately stay out of the normalization: an oversized update must
+  // contribute less total mass, not get renormalized back up.
+  float total = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    GOLDFISH_CHECK(mult_at(multipliers, i) >= 0.0f,
+                   "negative aggregation weight");
+    total += mult_at(multipliers, i);
+  }
+  GOLDFISH_CHECK(total > 0.0f, "aggregation weights sum to zero");
+  std::vector<float> eff(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double norm = snapshot_norm(updates[i].params);
+    const float factor =
+        norm > clip_ ? static_cast<float>(clip_ / norm) : 1.0f;
+    eff[i] = (mult_at(multipliers, i) / total) * factor;
+  }
+
+  const std::vector<Tensor>& first = updates[0].params;
+  std::vector<Tensor> out;
+  out.reserve(first.size());
+  for (const Tensor& t : first) {
+    Tensor acc = Tensor::uninit(t.shape());
+    const float* src = t.data();
+    float* dst = acc.data();
+    for (std::size_t j = 0; j < t.numel(); ++j) dst[j] = src[j] * eff[0];
+    out.push_back(std::move(acc));
+  }
+  for (std::size_t i = 1; i < n; ++i) nn::axpy(out, updates[i].params, eff[i]);
+  return out;
+}
+
+// -- staleness discounting --------------------------------------------------
+
 StalenessAggregator::StalenessAggregator(std::unique_ptr<Aggregator> base,
                                          double alpha)
     : base_(std::move(base)), alpha_(alpha) {
@@ -83,10 +310,33 @@ std::vector<float> StalenessAggregator::weights(
   return w;
 }
 
-std::unique_ptr<Aggregator> make_aggregator(const std::string& name) {
+std::vector<Tensor> StalenessAggregator::aggregate(
+    const std::vector<ClientUpdate>& updates,
+    const std::vector<float>* multipliers) const {
+  check_multipliers(updates, multipliers);
+  // Fold the decay into the multiplier stream and let the base do the rest:
+  // weight-based bases multiply it into their weights, robust bases apply
+  // it to whatever survives their filtering.
+  std::vector<float> d(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i)
+    d[i] = decay(updates[i].staleness, alpha_) * mult_at(multipliers, i);
+  return base_->aggregate(updates, &d);
+}
+
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
+                                            const RobustConfig& robust) {
   if (name == "fedavg") return std::make_unique<FedAvgAggregator>();
   if (name == "uniform") return std::make_unique<UniformAggregator>();
   if (name == "adaptive") return std::make_unique<AdaptiveAggregator>();
+  if (name == "krum")
+    return std::make_unique<KrumAggregator>(robust.krum_f, 1);
+  if (name == "multi-krum")
+    return std::make_unique<KrumAggregator>(robust.krum_f, robust.krum_m);
+  if (name == "trimmed-mean")
+    return std::make_unique<TrimmedMeanAggregator>(robust.trim_fraction);
+  if (name == "median") return std::make_unique<MedianAggregator>();
+  if (name == "norm-clip")
+    return std::make_unique<NormClipAggregator>(robust.clip_norm);
   GOLDFISH_CHECK(false, "unknown aggregator: " + name);
   return nullptr;  // unreachable
 }

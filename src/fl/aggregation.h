@@ -1,6 +1,9 @@
 // Server-side model aggregation: FedAvg (McMahan et al.), the paper's
-// adaptive-weight extension (Eq. 12–13), and FedBuff-style staleness
-// discounting for the buffered-asynchronous round loop.
+// adaptive-weight extension (Eq. 12–13), FedBuff-style staleness
+// discounting for the buffered-asynchronous round loop, and the
+// Byzantine-robust family (Krum / multi-Krum, coordinate-wise trimmed mean
+// and median, norm clipping) that survives poisoned uploads — see
+// docs/threat-model.md for which strategy defeats which attack.
 #pragma once
 
 #include <memory>
@@ -24,26 +27,68 @@ struct ClientUpdate {
   long staleness = 0;
 };
 
-/// Aggregation strategy interface. Strategies supply per-update *weights*;
-/// the averaging itself is shared (and copy-free: update snapshots are
-/// borrowed by nn::weighted_average, never cloned).
+/// Knobs for the Byzantine-robust strategies; inert for the weight-based
+/// ones. Lives here (not engine.h) so aggregators can be built standalone.
+struct RobustConfig {
+  /// Assumed number of Byzantine updates f (krum / multi-krum). Scoring
+  /// sums each update's n−f−2 smallest squared distances to the others, so
+  /// an aggregation needs n ≥ f+3 buffered updates.
+  long krum_f = 1;
+  /// Multi-krum selection size m: the m best-scored updates are averaged
+  /// ("krum" pins m = 1; "multi-krum" reads this).
+  long krum_m = 2;
+  /// Per-side trim fraction β ∈ [0, 0.5): coordinate-wise, the ⌊β·n⌋
+  /// largest and smallest values are dropped before averaging.
+  double trim_fraction = 0.2;
+  /// L2 clip threshold (> 0): each update is scaled by min(1, C/‖ω‖)
+  /// before the mean, bounding any single client's pull on the aggregate.
+  double clip_norm = 10.0;
+};
+
+/// Aggregation strategy interface. Weight-based strategies supply per-update
+/// *weights* and share one copy-free averaging path (update snapshots are
+/// borrowed by nn::weighted_average, never cloned — zero steady-state
+/// allocations). Robust strategies that are not expressible as per-update
+/// scalar weights (trimmed mean, median, norm clipping) override the
+/// aggregate() seam itself.
 class Aggregator {
  public:
+  /// What the strategy needs from (or guarantees to) the server — one
+  /// struct instead of one virtual per flag.
+  struct Capabilities {
+    /// Reads ClientUpdate::mse: the server must score every update on its
+    /// test set before aggregating.
+    bool needs_mse = false;
+    /// Reads ClientUpdate::staleness (the StalenessAggregator wrapper).
+    bool needs_staleness = false;
+    /// Byzantine-robust: bounds the influence of a minority of arbitrarily
+    /// poisoned updates (see docs/threat-model.md for the exact guarantee).
+    bool robust = false;
+  };
+
   virtual ~Aggregator() = default;
 
-  /// Per-update base weights (need not be normalized). Throws on inputs the
-  /// strategy cannot weight (e.g. FedAvg with an empty client dataset).
-  virtual std::vector<float> weights(
-      const std::vector<ClientUpdate>& updates) const = 0;
+  virtual Capabilities capabilities() const { return {}; }
 
-  /// Weighted average of the updates' parameters under weights().
-  std::vector<Tensor> aggregate(
+  /// Per-update base weights (need not be normalized) — the weight-based
+  /// fast path. Throws on inputs the strategy cannot weight (e.g. FedAvg
+  /// with an empty client dataset); robust strategies without a scalar-
+  /// weight form throw std::logic_error.
+  virtual std::vector<float> weights(
       const std::vector<ClientUpdate>& updates) const;
 
-  /// True when the strategy reads ClientUpdate::mse, i.e. the server must
-  /// score every update on its test set before aggregating (replaces the
-  /// brittle `name() == "adaptive"` string check).
-  virtual bool needs_mse() const { return false; }
+  /// Aggregate the updates' parameters.
+  std::vector<Tensor> aggregate(const std::vector<ClientUpdate>& updates) const {
+    return aggregate(updates, nullptr);
+  }
+
+  /// The override seam. `multipliers` are per-update scalar factors folded
+  /// in by wrapper strategies (staleness decay); null means all-ones. The
+  /// default implementation is the shared borrowed-view weighted average
+  /// under weights() — copy-free, zero steady-state allocations.
+  virtual std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates,
+      const std::vector<float>* multipliers) const;
 
   virtual std::string name() const = 0;
 };
@@ -72,9 +117,9 @@ class UniformAggregator final : public Aggregator {
 /// Lower test MSE ⇒ exponentially larger weight.
 class AdaptiveAggregator final : public Aggregator {
  public:
+  Capabilities capabilities() const override { return {.needs_mse = true}; }
   std::vector<float> weights(
       const std::vector<ClientUpdate>& updates) const override;
-  bool needs_mse() const override { return true; }
   std::string name() const override { return "adaptive"; }
 
   /// The raw Eq. 12 weights (exposed for tests/benches). All-zero MSEs
@@ -83,18 +128,127 @@ class AdaptiveAggregator final : public Aggregator {
   static std::vector<float> weights_from_mse(const std::vector<double>& mses);
 };
 
+// -- Byzantine-robust strategies -------------------------------------------
+
+/// Krum / multi-Krum (Blanchard et al., NeurIPS 2017). Each update is
+/// scored by the sum of its n−f−2 smallest squared L2 distances to the
+/// other updates; the m lowest-scoring updates are selected (ties broken by
+/// arrival index) and averaged — a geometric-majority vote that discards
+/// outliers no matter how extreme their values. Needs n ≥ f+3 updates per
+/// aggregation. Selection reduces to 0/1 weights, so the averaging itself
+/// rides the shared borrowed-view fast path.
+class KrumAggregator final : public Aggregator {
+ public:
+  using Aggregator::aggregate;
+  /// `f` ≥ 0 assumed Byzantine updates; `m` ≥ 1 selected updates (m = 1 is
+  /// classic Krum; m > 1 is multi-Krum, clamped to n at aggregate time).
+  KrumAggregator(long f, long m = 1);
+
+  Capabilities capabilities() const override { return {.robust = true}; }
+  std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates,
+      const std::vector<float>* multipliers) const override;
+  std::string name() const override { return m_ == 1 ? "krum" : "multi-krum"; }
+
+  /// The Krum score of every update (exposed for tests): score_i = Σ of the
+  /// n−f−2 smallest squared distances from update i to the others.
+  static std::vector<double> scores(const std::vector<ClientUpdate>& updates,
+                                    long f);
+
+  long f() const { return f_; }
+  long m() const { return m_; }
+
+ private:
+  long f_;
+  long m_;
+};
+
+/// Coordinate-wise trimmed mean (Yin et al., ICML 2018): per scalar
+/// coordinate, drop the ⌊β·n⌋ largest and ⌊β·n⌋ smallest values and average
+/// the rest. A poisoned update can perturb a coordinate only while staying
+/// inside the honest values' range. Multipliers (staleness decay) weight
+/// the surviving values per coordinate, normalized among survivors.
+class TrimmedMeanAggregator final : public Aggregator {
+ public:
+  using Aggregator::aggregate;
+  /// `fraction` = β ∈ [0, 0.5) per side; needs n > 2·⌊β·n⌋ updates.
+  explicit TrimmedMeanAggregator(double fraction);
+
+  Capabilities capabilities() const override { return {.robust = true}; }
+  std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates,
+      const std::vector<float>* multipliers) const override;
+  std::string name() const override { return "trimmed-mean"; }
+
+  double fraction() const { return fraction_; }
+
+ private:
+  double fraction_;
+};
+
+/// Coordinate-wise median (Yin et al., ICML 2018): the maximally trimmed
+/// mean. Even counts average the two central values. An order statistic is
+/// scale-free, so per-update scalar multipliers (staleness decay) do not
+/// apply and are ignored.
+class MedianAggregator final : public Aggregator {
+ public:
+  using Aggregator::aggregate;
+  Capabilities capabilities() const override { return {.robust = true}; }
+  std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates,
+      const std::vector<float>* multipliers) const override;
+  std::string name() const override { return "median"; }
+};
+
+/// Norm clipping (the standard backdoor mitigation, cf. Sun et al. 2019):
+/// each update is scaled by min(1, C/‖ω_i‖) — full-snapshot L2 norm — and
+/// the clipped updates are averaged under the multiplier weights. Clipping
+/// is absolute, not relative: the clip factors deliberately do NOT enter
+/// the normalization, so an oversized update contributes *less* total mass,
+/// bounding any single client's pull at C/n.
+class NormClipAggregator final : public Aggregator {
+ public:
+  using Aggregator::aggregate;
+  /// `clip` > 0: the L2 threshold C.
+  explicit NormClipAggregator(double clip);
+
+  Capabilities capabilities() const override { return {.robust = true}; }
+  std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates,
+      const std::vector<float>* multipliers) const override;
+  std::string name() const override { return "norm-clip"; }
+
+  /// ‖params‖₂ across the whole snapshot (exposed for tests).
+  static double snapshot_norm(const std::vector<Tensor>& params);
+
+  double clip() const { return clip_; }
+
+ private:
+  double clip_;
+};
+
 /// FedBuff-style staleness discounting layered over any base strategy: each
-/// update's base weight is multiplied by the polynomial decay (1+s)^−α,
+/// update's contribution is multiplied by the polynomial decay (1+s)^−α,
 /// where s is ClientUpdate::staleness. α = 0 reproduces the base aggregator
-/// exactly (decay ≡ 1). Composes with all three strategies above, including
-/// the paper's adaptive MSE weighting.
+/// exactly (decay ≡ 1). Composes with every strategy above — weight-based
+/// bases fold the decay into their weights; robust bases receive it through
+/// the aggregate() multiplier seam (the median, an order statistic, ignores
+/// it by design).
 class StalenessAggregator final : public Aggregator {
  public:
+  using Aggregator::aggregate;
   StalenessAggregator(std::unique_ptr<Aggregator> base, double alpha);
 
+  Capabilities capabilities() const override {
+    Capabilities caps = base_->capabilities();
+    caps.needs_staleness = true;
+    return caps;
+  }
   std::vector<float> weights(
       const std::vector<ClientUpdate>& updates) const override;
-  bool needs_mse() const override { return base_->needs_mse(); }
+  std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates,
+      const std::vector<float>* multipliers) const override;
   std::string name() const override { return base_->name() + "+staleness"; }
 
   /// The (1+s)^−α decay factor itself (exposed for tests).
@@ -105,6 +259,10 @@ class StalenessAggregator final : public Aggregator {
   double alpha_;
 };
 
-std::unique_ptr<Aggregator> make_aggregator(const std::string& name);
+/// Build a strategy by name: "fedavg" | "uniform" | "adaptive" | "krum" |
+/// "multi-krum" | "trimmed-mean" | "median" | "norm-clip". The robust
+/// strategies read their knobs from `robust`.
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
+                                            const RobustConfig& robust = {});
 
 }  // namespace goldfish::fl

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "metrics/membership_inference.h"
 #include "runtime/gemm.h"
 #include "tensor/ops.h"
 
@@ -22,10 +23,28 @@ FlConfig validated(FlConfig cfg, std::size_t num_clients) {
   const auto fail = [](const std::string& msg) {
     throw std::invalid_argument("fl::FlConfig: " + msg);
   };
-  if (cfg.aggregator != "fedavg" && cfg.aggregator != "uniform" &&
-      cfg.aggregator != "adaptive")
+  static const char* kAggregators[] = {"fedavg",       "uniform", "adaptive",
+                                       "krum",         "multi-krum",
+                                       "trimmed-mean", "median",  "norm-clip"};
+  if (std::find_if(std::begin(kAggregators), std::end(kAggregators),
+                   [&](const char* n) { return cfg.aggregator == n; }) ==
+      std::end(kAggregators))
     fail("unknown aggregator '" + cfg.aggregator +
-         "' (expected fedavg | uniform | adaptive)");
+         "' (expected fedavg | uniform | adaptive | krum | multi-krum | "
+         "trimmed-mean | median | norm-clip)");
+  if (cfg.robust.krum_f < 0) fail("robust.krum_f must be >= 0");
+  if (cfg.robust.krum_m < 1) fail("robust.krum_m must be >= 1");
+  if ((cfg.aggregator == "krum" || cfg.aggregator == "multi-krum") &&
+      cfg.robust.krum_f >= static_cast<long>(num_clients))
+    fail("robust.krum_f (" + std::to_string(cfg.robust.krum_f) +
+         ") must be below the client count (" + std::to_string(num_clients) +
+         "): krum scoring needs n >= f+3 updates and assumes an honest "
+         "majority");
+  if (!(cfg.robust.trim_fraction >= 0.0 && cfg.robust.trim_fraction < 0.5))
+    fail("robust.trim_fraction must be in [0, 0.5) — trimming half or more "
+         "per side leaves nothing to average");
+  if (!(cfg.robust.clip_norm > 0.0))
+    fail("robust.clip_norm must be positive");
   if (cfg.async.buffer_size < 0)
     fail("async.buffer_size must be >= 0 (0 means all clients)");
   if (cfg.async.buffer_size > static_cast<long>(num_clients))
@@ -44,14 +63,63 @@ FlConfig validated(FlConfig cfg, std::size_t num_clients) {
 }
 
 /// One scenario event reference on the merged timeline. Kind order is the
-/// tie-break at equal times: deletions and leaves mutate existing clients
-/// before joins introduce new ids, and aggregator swaps apply last.
+/// tie-break at equal times: events mutating *existing* clients (deletions,
+/// leaves, label flips, backdoor injections) apply before joins introduce
+/// new ids, aggregator swaps after that, and audit activations last. The
+/// relative order of the original four kinds is unchanged, so legacy
+/// scenarios replay bit-identically.
 struct TimelineRef {
-  enum Kind { kDeletion = 0, kLeave = 1, kJoin = 2, kSwap = 3 };
+  enum Kind {
+    kDeletion = 0,
+    kLeave = 1,
+    kFlip = 2,
+    kBackdoor = 3,
+    kJoin = 4,
+    kSwap = 5,
+    kAudit = 6,
+  };
   double time = 0.0;
   int kind = kDeletion;
   std::size_t index = 0;  // into the scenario vector of that kind
 };
+
+/// Merge every scenario event onto one timeline, ordered (time, kind,
+/// declaration index). Shared by Phase A (schedule construction) and the
+/// dataset-epoch materialization, which must replay data mutations in
+/// exactly the order the schedule applied them. Sybil bursts never appear
+/// here — Engine::run expands them into ordinary joins first.
+std::vector<TimelineRef> merged_timeline(const Scenario& s) {
+  std::vector<TimelineRef> timeline;
+  timeline.reserve(s.deletions.size() + s.leaves.size() +
+                   s.label_flips.size() + s.backdoors.size() +
+                   s.joins.size() + s.aggregator_swaps.size() +
+                   s.audits.size());
+  for (std::size_t i = 0; i < s.deletions.size(); ++i)
+    timeline.push_back({s.deletions[i].time, TimelineRef::kDeletion, i});
+  for (std::size_t i = 0; i < s.leaves.size(); ++i)
+    timeline.push_back({s.leaves[i].time, TimelineRef::kLeave, i});
+  for (std::size_t i = 0; i < s.label_flips.size(); ++i)
+    timeline.push_back({s.label_flips[i].time, TimelineRef::kFlip, i});
+  for (std::size_t i = 0; i < s.backdoors.size(); ++i)
+    timeline.push_back({s.backdoors[i].time, TimelineRef::kBackdoor, i});
+  for (std::size_t i = 0; i < s.joins.size(); ++i)
+    timeline.push_back({s.joins[i].time, TimelineRef::kJoin, i});
+  for (std::size_t i = 0; i < s.aggregator_swaps.size(); ++i)
+    timeline.push_back({s.aggregator_swaps[i].time, TimelineRef::kSwap, i});
+  for (std::size_t i = 0; i < s.audits.size(); ++i)
+    timeline.push_back({s.audits[i].time, TimelineRef::kAudit, i});
+  std::sort(timeline.begin(), timeline.end(),
+            [](const TimelineRef& a, const TimelineRef& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.index < b.index;
+            });
+  return timeline;
+}
+
+/// RNG stream salt for BackdoorInjectEvent row selection (cf. the policy
+/// salts in fl/policies.cpp).
+constexpr std::uint64_t kBackdoorSalt = 0xBADC0DEDB00ULL;
 
 /// Relative L2 reconstruction error ‖decoded − trained‖ / ‖trained‖ across a
 /// whole snapshot: how much the wire encoding perturbed this upload.
@@ -93,11 +161,14 @@ struct Engine::Schedule {
     std::vector<std::size_t> tasks;
     long dropped_so_far = 0;
     std::size_t aggregator = 0;  ///< 0 = configured strategy, i+1 = swap i
+    std::size_t audit = 0;       ///< 0 = no audit active, i+1 = audit i
     std::size_t active_clients = 0;
   };
 
   std::vector<Task> tasks;
   std::vector<Agg> aggs;
+  /// merged_timeline of the planned scenario, cached for the epoch replay.
+  std::vector<TimelineRef> timeline;
   /// Max tasks any one client started: how many (client, round) RNG steps
   /// the run consumed. Fast clients lap the aggregation count, so advancing
   /// the round counter by less than this would hand later rounds
@@ -290,7 +361,20 @@ void Engine::validate_scenario(const Scenario& s) const {
   for (const ClientJoinEvent& j : s.joins)
     GOLDFISH_CHECK(!j.dataset.empty(), "joining client needs data");
   for (const AggregatorSwapEvent& ev : s.aggregator_swaps)
-    make_aggregator(ev.aggregator);  // throws on an unknown strategy
+    make_aggregator(ev.aggregator, cfg_.robust);  // throws on unknown name
+  for (const LabelFlipEvent& f : s.label_flips)
+    GOLDFISH_CHECK(f.client < total, "label flip for unknown client");
+  for (const BackdoorInjectEvent& b : s.backdoors) {
+    GOLDFISH_CHECK(b.client < total, "backdoor injection for unknown client");
+    GOLDFISH_CHECK(b.fraction > 0.0f && b.fraction <= 1.0f,
+                   "backdoor fraction must be in (0, 1]");
+  }
+  for (const AuditEvent& a : s.audits) {
+    GOLDFISH_CHECK(!a.probe.empty(), "audit needs a trigger probe set");
+    GOLDFISH_CHECK(a.members.empty() == a.nonmembers.empty(),
+                   "audit member and nonmember sets come together (both "
+                   "empty disables the MIA block)");
+  }
 }
 
 Engine::Schedule Engine::build_schedule(const Scenario& s) const {
@@ -311,7 +395,8 @@ Engine::Schedule Engine::build_schedule(const Scenario& s) const {
   std::vector<std::size_t> buffer;
   long server_version = 0;
   long dropped = 0;
-  std::size_t current_agg = 0;  // aggregator sequence index (0 = configured)
+  std::size_t current_agg = 0;    // aggregator sequence index (0 = configured)
+  std::size_t current_audit = 0;  // active audit, 0 = none
   double last_time = 0.0;
 
   ParticipationPolicy& who = *s.participation;
@@ -368,26 +453,11 @@ Engine::Schedule Engine::build_schedule(const Scenario& s) const {
     buffer.erase(evicted, buffer.end());
   };
 
-  // Merge the scenario's events onto one timeline, ordered (time, kind,
-  // declaration index): state changes always apply before completions at
-  // the same virtual time.
-  std::vector<TimelineRef> timeline;
-  timeline.reserve(s.deletions.size() + s.leaves.size() + s.joins.size() +
-                   s.aggregator_swaps.size());
-  for (std::size_t i = 0; i < s.deletions.size(); ++i)
-    timeline.push_back({s.deletions[i].time, TimelineRef::kDeletion, i});
-  for (std::size_t i = 0; i < s.leaves.size(); ++i)
-    timeline.push_back({s.leaves[i].time, TimelineRef::kLeave, i});
-  for (std::size_t i = 0; i < s.joins.size(); ++i)
-    timeline.push_back({s.joins[i].time, TimelineRef::kJoin, i});
-  for (std::size_t i = 0; i < s.aggregator_swaps.size(); ++i)
-    timeline.push_back({s.aggregator_swaps[i].time, TimelineRef::kSwap, i});
-  std::sort(timeline.begin(), timeline.end(),
-            [](const TimelineRef& a, const TimelineRef& b) {
-              if (a.time != b.time) return a.time < b.time;
-              if (a.kind != b.kind) return a.kind < b.kind;
-              return a.index < b.index;
-            });
+  // The scenario's events on one timeline, ordered (time, kind, declaration
+  // index): state changes always apply before completions at the same
+  // virtual time.
+  std::vector<TimelineRef> timeline_storage = merged_timeline(s);
+  const std::vector<TimelineRef>& timeline = timeline_storage;
   std::size_t next_event = 0;
 
   const auto apply_event = [&](const TimelineRef& ev, bool live) {
@@ -428,6 +498,25 @@ Engine::Schedule Engine::build_schedule(const Scenario& s) const {
       }
       case TimelineRef::kSwap:
         current_agg = ev.index + 1;
+        break;
+      case TimelineRef::kFlip: {
+        const LabelFlipEvent& f = s.label_flips[ev.index];
+        GOLDFISH_CHECK(f.client < next_index.size(),
+                       "label flip targets a client that has not joined yet");
+        // Only tasks started after the event train on the hostile data:
+        // buffered updates and the in-flight task keep their honest epoch.
+        ++epoch[f.client];
+        break;
+      }
+      case TimelineRef::kBackdoor: {
+        const BackdoorInjectEvent& b = s.backdoors[ev.index];
+        GOLDFISH_CHECK(b.client < next_index.size(),
+                       "backdoor targets a client that has not joined yet");
+        ++epoch[b.client];
+        break;
+      }
+      case TimelineRef::kAudit:
+        current_audit = ev.index + 1;
         break;
     }
   };
@@ -522,6 +611,7 @@ Engine::Schedule Engine::build_schedule(const Scenario& s) const {
         buffer.clear();
         ap.dropped_so_far = dropped;
         ap.aggregator = current_agg;
+        ap.audit = current_audit;
         ap.active_clients = active_count();
         ++server_version;
         version_advanced = true;
@@ -551,28 +641,89 @@ Engine::Schedule Engine::build_schedule(const Scenario& s) const {
           ? 0
           : *std::max_element(next_index.begin(), next_index.end());
   plan.total_clients = next_index.size();
+  plan.timeline = std::move(timeline_storage);
   return plan;
+}
+
+/// Every dataset version each client trains on during the run, in epoch
+/// order (Schedule::Task::epoch indexes epochs[client]). Deletion payloads
+/// and join payloads are borrowed from the scenario; flipped and poisoned
+/// versions are derived here and owned by the table.
+struct Engine::EpochTable {
+  std::vector<std::vector<const data::Dataset*>> epochs;
+  std::vector<std::unique_ptr<data::Dataset>> owned;
+  /// Per client: index into `owned` of its final (post-run) dataset when
+  /// the last data mutation was a derived one (flip / backdoor), else -1.
+  /// Engine::run commits these durably after the deletion/join commits.
+  std::vector<int> final_owned;
+};
+
+Engine::EpochTable Engine::materialize_epochs(const Scenario& s,
+                                              const Schedule& plan) const {
+  EpochTable t;
+  t.epochs.resize(plan.total_clients);
+  t.final_owned.assign(plan.total_clients, -1);
+  // Epoch 0: pre-run data for existing clients, the join payload for joined
+  // ones (ids are assigned in join-application order).
+  for (std::size_t c = 0; c < clients_.size(); ++c)
+    t.epochs[c].push_back(&clients_[c]);
+  for (std::size_t p = 0; p < plan.join_order.size(); ++p)
+    t.epochs[clients_.size() + p].push_back(
+        &s.joins[plan.join_order[p]].dataset);
+
+  // Replay the data-mutating events in the exact merged order Phase A
+  // applied them, so epoch numbers line up with the schedule's counters —
+  // a flip after a deletion flips the post-deletion remainder, a backdoor
+  // after a flip poisons the flipped data.
+  for (const TimelineRef& ev : plan.timeline) {
+    switch (ev.kind) {
+      case TimelineRef::kDeletion: {
+        const DeletionEvent& d = s.deletions[ev.index];
+        t.epochs[d.client].push_back(&d.new_data);
+        t.final_owned[d.client] = -1;
+        break;
+      }
+      case TimelineRef::kFlip: {
+        const LabelFlipEvent& f = s.label_flips[ev.index];
+        auto ds = std::make_unique<data::Dataset>(*t.epochs[f.client].back());
+        data::flip_labels(*ds);
+        t.epochs[f.client].push_back(ds.get());
+        t.final_owned[f.client] = static_cast<int>(t.owned.size());
+        t.owned.push_back(std::move(ds));
+        break;
+      }
+      case TimelineRef::kBackdoor: {
+        const BackdoorInjectEvent& b = s.backdoors[ev.index];
+        // Row selection draws from a per-event seeded stream — a pure
+        // function of (seed, event index), never of thread timing.
+        Rng rng(mix_seed(cfg_.seed ^ kBackdoorSalt, ev.index, 0));
+        auto ds = std::make_unique<data::Dataset>(
+            data::poison_dataset(*t.epochs[b.client].back(), b.spec,
+                                 b.fraction, rng)
+                .poisoned);
+        t.epochs[b.client].push_back(ds.get());
+        t.final_owned[b.client] = static_cast<int>(t.owned.size());
+        t.owned.push_back(std::move(ds));
+        break;
+      }
+      default:
+        break;  // joins/leaves/swaps/audits do not version datasets
+    }
+  }
+  return t;
 }
 
 // -- Phase B (plan execution) ----------------------------------------------
 
 void Engine::execute(const Scenario& scenario, const Schedule& plan,
-                     const StepSink& sink) {
+                     const EpochTable& epochs, const StepSink& sink) {
   const long aggregations = static_cast<long>(plan.aggs.size());
 
-  // Per-client dataset epochs: 0 = the client's current data (joined
-  // clients: the join event's payload), 1.. = post-deletion remainders.
-  std::vector<std::vector<const data::Dataset*>> epoch_data(
-      plan.total_clients);
-  for (std::size_t c = 0; c < clients_.size(); ++c)
-    epoch_data[c].push_back(&clients_[c]);
-  {
-    std::size_t id = clients_.size();
-    for (std::size_t ji : plan.join_order)
-      epoch_data[id++].push_back(&scenario.joins[ji].dataset);
-  }
-  for (const DeletionEvent& d : scenario.deletions)
-    epoch_data[d.client].push_back(&d.new_data);
+  // Per-client dataset epochs, materialized by materialize_epochs in merged
+  // timeline order: 0 = the client's starting data, 1.. = post-deletion
+  // remainders and flipped/poisoned versions.
+  const std::vector<std::vector<const data::Dataset*>>& epoch_data =
+      epochs.epochs;
 
   // The run's aggregator sequence: index 0 is the configured strategy, each
   // swap event appends its own, and the scenario's staleness discounting
@@ -582,7 +733,7 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
                            : scenario.staleness_alpha;
   const auto wrapped =
       [&](const std::string& name) -> std::unique_ptr<Aggregator> {
-    std::unique_ptr<Aggregator> base = make_aggregator(name);
+    std::unique_ptr<Aggregator> base = make_aggregator(name, cfg_.robust);
     if (alpha > 0.0)
       return std::make_unique<StalenessAggregator>(std::move(base), alpha);
     return base;
@@ -700,7 +851,7 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
       }
       r.upload_bytes = wire_bytes[ap.tasks.front()];
       r.encode_error /= double(ap.tasks.size());
-      if (agg.needs_mse()) {
+      if (agg.capabilities().needs_mse) {
         // grain=1: one body is a full-model MSE evaluation.
         sched_->parallel_map(
             updates.size(),
@@ -720,6 +871,20 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
       r.step = a;
       r.virtual_time = ap.time;
       r.global_accuracy = eval_.accuracy(global_);
+      if (ap.audit > 0) {
+        // Audit the freshly aggregated model on the main thread — a pure
+        // batched forward pass, so the curve is bit-identical at any thread
+        // count.
+        const AuditEvent& audit = scenario.audits[ap.audit - 1];
+        r.has_audit = true;
+        r.attack_success = metrics::attack_success_rate(global_, audit.probe);
+        if (!audit.members.empty()) {
+          const metrics::MiaResult mia = metrics::membership_inference(
+              global_, audit.members, audit.nonmembers);
+          r.mia_auc = mia.auc;
+          r.mia_accuracy = mia.best_accuracy;
+        }
+      }
       r.mean_staleness /= double(ap.tasks.size());
       r.updates_consumed = static_cast<long>(ap.tasks.size());
       r.dropped_updates = ap.dropped_so_far;
@@ -767,6 +932,20 @@ void Engine::run(Scenario scenario, const StepSink& sink) {
     ~RunningGuard() { flag.store(false, std::memory_order_release); }
   } guard{running_};
 
+  // Expand sybil bursts into ordinary joins before anything looks at the
+  // timeline: ids stay dense, joins stay durable, and DeletionEvent /
+  // ClientLeaveEvent can target each sybil individually. Expanded joins
+  // carry higher declaration indices than every declared join, so at an
+  // equal instant the declared joins are assigned ids first.
+  for (SybilJoinEvent& sv : scenario.sybil_joins) {
+    GOLDFISH_CHECK(sv.count >= 1, "sybil burst needs count >= 1");
+    GOLDFISH_CHECK(!sv.dataset.empty(), "sybil clients need data");
+    for (std::size_t i = 0; i + 1 < sv.count; ++i)
+      scenario.joins.push_back({sv.time, sv.dataset});
+    scenario.joins.push_back({sv.time, std::move(sv.dataset)});
+  }
+  scenario.sybil_joins.clear();
+
   validate_scenario(scenario);
   // Null policies mean "the legacy behaviour derived from FlConfig".
   if (!scenario.participation)
@@ -785,7 +964,8 @@ void Engine::run(Scenario scenario, const StepSink& sink) {
       scenario.wire->encoded_bytes(replica_template_.snapshot()));
 
   const Schedule plan = build_schedule(scenario);
-  execute(scenario, plan, sink);
+  EpochTable epochs = materialize_epochs(scenario, plan);
+  execute(scenario, plan, epochs, sink);
 
   // Commit the run's durable effects. Subsequent runs (and their RNG
   // streams) continue after every stream this run touched — fast clients
@@ -798,6 +978,13 @@ void Engine::run(Scenario scenario, const StepSink& sink) {
   }
   for (DeletionEvent& d : scenario.deletions)
     clients_[d.client] = std::move(d.new_data);
+  // Adversarial data mutations are durable too: a client whose *last*
+  // mutation was a flip or backdoor keeps the hostile dataset (a later
+  // deletion supersedes both — its payload just committed above).
+  for (std::size_t c = 0; c < epochs.final_owned.size(); ++c)
+    if (epochs.final_owned[c] >= 0)
+      clients_[c] = std::move(
+          *epochs.owned[static_cast<std::size_t>(epochs.final_owned[c])]);
   for (const ClientLeaveEvent& l : scenario.leaves) active_[l.client] = false;
 }
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "data/backdoor.h"
 #include "fl/aggregation.h"
 #include "fl/policies.h"
 #include "fl/trainer.h"
@@ -60,7 +61,12 @@ struct AsyncFlConfig {
 
 struct FlConfig {
   TrainOptions local;                ///< per-round local training options
-  std::string aggregator = "fedavg"; ///< "fedavg" | "uniform" | "adaptive"
+  /// "fedavg" | "uniform" | "adaptive" | "krum" | "multi-krum" |
+  /// "trimmed-mean" | "median" | "norm-clip"
+  std::string aggregator = "fedavg";
+  /// Knobs for the Byzantine-robust strategies (configured or hot-swapped);
+  /// inert for the weight-based ones.
+  RobustConfig robust;
   /// 0 → share the process-wide runtime Scheduler (the normal case; client
   /// tasks and the kernels inside them draw from one pool). Non-zero → a
   /// private Scheduler with that parallelism for *client-level* tasks only;
@@ -115,13 +121,66 @@ struct ClientLeaveEvent {
 };
 
 /// Swap the server's aggregation strategy at `time`: every aggregation at
-/// or after `time` uses the named strategy ("fedavg" | "uniform" |
-/// "adaptive"), wrapped in the scenario's staleness discounting like the
+/// or after `time` uses the named strategy (any name make_aggregator
+/// accepts, robust families included — the knobs come from FlConfig's
+/// RobustConfig), wrapped in the scenario's staleness discounting like the
 /// base strategy. Scenario-scoped: the engine's configured aggregator is
 /// restored for the next run.
 struct AggregatorSwapEvent {
   double time = 0.0;
   std::string aggregator;
+};
+
+// -- adversarial events (docs/threat-model.md) -----------------------------
+
+/// A client turns hostile at `time`: its local dataset's labels are flipped
+/// in place (y → num_classes−1−y) for every task it *starts* after the
+/// event. Updates already buffered and the in-flight task trained on the
+/// honest data and stay valid — the device poisons what it trains next, it
+/// cannot rewrite uploads the server already holds. Durable: the flipped
+/// dataset is the client's data after the run.
+struct LabelFlipEvent {
+  double time = 0.0;
+  std::size_t client = 0;
+};
+
+/// A client starts backdooring at `time`: `fraction` of its current dataset
+/// is trigger-stamped and relabeled to the spec's target via
+/// data::poison_dataset (row choice drawn from a seeded per-event RNG
+/// stream — deterministic at any thread count). Same epoch semantics as
+/// LabelFlipEvent: only tasks started after the event train poisoned.
+struct BackdoorInjectEvent {
+  double time = 0.0;
+  std::size_t client = 0;
+  data::BackdoorSpec spec;
+  /// Fraction of the client's rows to poison, in (0, 1].
+  float fraction = 0.5f;
+};
+
+/// A sybil burst: `count` colluding clients join at `time`, every one
+/// training on its own copy of the shared `dataset` (typically poisoned).
+/// Sugar over ClientJoinEvent — the engine expands the burst into `count`
+/// ordinary joins (after all declared joins at the same instant), so ids
+/// are dense, joins stay durable, and DeletionEvent / ClientLeaveEvent can
+/// target each sybil individually for the cleanup phase.
+struct SybilJoinEvent {
+  double time = 0.0;
+  std::size_t count = 0;
+  data::Dataset dataset;
+};
+
+/// Switch on per-step auditing at `time`: every aggregation at or after it
+/// measures the freshly aggregated global model against this event's probe
+/// sets and records the result in its StepResult — attack_success_rate on
+/// `probe` (a trigger set from data::make_trigger_probe), and, when
+/// `members` is non-empty, the membership-inference attack over
+/// (members = rows the attacker may have trained on, nonmembers = held-out
+/// rows). A later AuditEvent replaces the probe sets from its time on.
+struct AuditEvent {
+  double time = 0.0;
+  data::Dataset probe;
+  data::Dataset members;     ///< optional; empty disables the MIA block
+  data::Dataset nonmembers;  ///< required iff members is non-empty
 };
 
 /// A complete execution scenario: the horizon, the four policies (null →
@@ -145,6 +204,10 @@ struct Scenario {
   std::vector<ClientJoinEvent> joins;
   std::vector<ClientLeaveEvent> leaves;
   std::vector<AggregatorSwapEvent> aggregator_swaps;
+  std::vector<LabelFlipEvent> label_flips;
+  std::vector<BackdoorInjectEvent> backdoors;
+  std::vector<SybilJoinEvent> sybil_joins;
+  std::vector<AuditEvent> audits;
   /// Staleness decay exponent for this run; negative → cfg.async value.
   double staleness_alpha = -1.0;
   /// Compute per-client local accuracies for every aggregation (the
@@ -184,6 +247,16 @@ struct StepResult {
   double min_local_accuracy = 0.0;
   double max_local_accuracy = 0.0;
   double mean_local_accuracy = 0.0;
+  /// Audit block; populated for every step at or after an AuditEvent.
+  bool has_audit = false;
+  /// Backdoor attack success rate (%) of the post-aggregation global model
+  /// on the active audit's trigger probe.
+  double attack_success = 0.0;
+  /// Membership-inference attack over the audit's member/nonmember sets;
+  /// 0.5 = chance (forgotten), → 1 = memorized. Stay at 0.5 when the audit
+  /// carries no member rows.
+  double mia_auc = 0.5;
+  double mia_accuracy = 0.5;
 };
 
 /// The single federated server loop. Owns the federation state (global
@@ -262,6 +335,7 @@ class Engine {
  private:
   friend class FederatedSim;
   struct Schedule;
+  struct EpochTable;
 
   /// RAII lease of a pooled model replica: pops a free replica (cloning the
   /// global model only when the pool has never been this deep — i.e. the
@@ -280,8 +354,12 @@ class Engine {
 
   void validate_scenario(const Scenario& s) const;
   Schedule build_schedule(const Scenario& s) const;
+  /// Replay the data-mutating events (deletions, label flips, backdoor
+  /// injections) in merged timeline order, materializing every dataset
+  /// version each client trains on during the run.
+  EpochTable materialize_epochs(const Scenario& s, const Schedule& plan) const;
   void execute(const Scenario& scenario, const Schedule& plan,
-               const StepSink& sink);
+               const EpochTable& epochs, const StepSink& sink);
 
   /// True when the global model is a two-layer MLP (the `mlp<h>` family),
   /// whose per-client evaluation can be stacked into one wide GEMM.

@@ -75,7 +75,41 @@ TEST(FlConfigValidation, RejectsEachBadFieldWithInvalidArgument) {
   construct(fast_cfg());  // the baseline config itself is valid
 
   fl::FlConfig bad = fast_cfg();
+  bad.aggregator = "geometric-median";  // not a registered strategy
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+
+  bad = fast_cfg();
+  bad.robust.krum_f = -1;
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+
+  bad = fast_cfg();
+  bad.robust.krum_m = 0;
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+
+  bad = fast_cfg();
   bad.aggregator = "krum";
+  bad.robust.krum_f = 3;  // >= the 3 clients: n >= f+3 can never hold
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+
+  bad = fast_cfg();  // ...but a krum_f the federation can satisfy is fine
+  bad.aggregator = "krum";
+  bad.robust.krum_f = 0;
+  construct(bad);
+
+  bad = fast_cfg();
+  bad.robust.trim_fraction = 0.5;  // trims everything
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+
+  bad = fast_cfg();
+  bad.robust.trim_fraction = -0.1;
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+
+  bad = fast_cfg();
+  bad.robust.clip_norm = 0.0;
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+
+  bad = fast_cfg();
+  bad.robust.clip_norm = -2.0;
   EXPECT_THROW(construct(bad), std::invalid_argument);
 
   bad = fast_cfg();
@@ -110,13 +144,23 @@ TEST(FlConfigValidation, RejectsEachBadFieldWithInvalidArgument) {
 TEST(FlConfigValidation, MessagesNameTheField) {
   Fed fed = make_fed(2, 80, 30, 303);
   fl::FlConfig bad = fast_cfg();
-  bad.aggregator = "median";
+  bad.aggregator = "geometric-median";
   try {
     fl::FederatedSim sim(fed.global, fed.parts, fed.test, bad);
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("median"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("geometric-median"),
+              std::string::npos);
     EXPECT_NE(std::string(e.what()).find("aggregator"), std::string::npos);
+  }
+
+  bad = fast_cfg();
+  bad.robust.trim_fraction = 0.75;
+  try {
+    fl::FederatedSim sim(fed.global, fed.parts, fed.test, bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("trim_fraction"), std::string::npos);
   }
 }
 
@@ -485,7 +529,7 @@ TEST(ScenarioTimeline, RejectsMalformedEvents) {
   }
   {
     fl::Scenario s = sim.engine().async_scenario(1);
-    s.aggregator_swaps.push_back({0.5, "krum"});  // unknown strategy
+    s.aggregator_swaps.push_back({0.5, "geometric-median"});  // unknown
     EXPECT_THROW(sim.engine().collect(std::move(s)), CheckError);
   }
   {

@@ -159,9 +159,10 @@ TEST(Staleness, NormalizationAndComposition) {
   fl::ClientUpdate u0{a.snapshot(), 100, 0.0, 0};
   fl::ClientUpdate u2{a.snapshot(), 100, 0.0, 2};
   fl::StalenessAggregator agg(fl::make_aggregator("adaptive"), 0.5);
-  EXPECT_TRUE(agg.needs_mse());
+  EXPECT_TRUE(agg.capabilities().needs_mse);
+  EXPECT_TRUE(agg.capabilities().needs_staleness);
   EXPECT_EQ(agg.name(), "adaptive+staleness");
-  EXPECT_FALSE(fl::make_aggregator("fedavg")->needs_mse());
+  EXPECT_FALSE(fl::make_aggregator("fedavg")->capabilities().needs_mse);
   const auto avg = agg.aggregate({u0, u2});
   for (std::size_t t = 0; t < avg.size(); ++t)
     for (std::size_t i = 0; i < avg[t].numel(); ++i)
@@ -172,7 +173,16 @@ TEST(AggregatorFactory, Names) {
   EXPECT_EQ(fl::make_aggregator("fedavg")->name(), "fedavg");
   EXPECT_EQ(fl::make_aggregator("uniform")->name(), "uniform");
   EXPECT_EQ(fl::make_aggregator("adaptive")->name(), "adaptive");
-  EXPECT_THROW(fl::make_aggregator("krum"), CheckError);
+  EXPECT_EQ(fl::make_aggregator("krum")->name(), "krum");
+  EXPECT_EQ(fl::make_aggregator("multi-krum")->name(), "multi-krum");
+  EXPECT_EQ(fl::make_aggregator("trimmed-mean")->name(), "trimmed-mean");
+  EXPECT_EQ(fl::make_aggregator("median")->name(), "median");
+  EXPECT_EQ(fl::make_aggregator("norm-clip")->name(), "norm-clip");
+  EXPECT_THROW(fl::make_aggregator("geometric-median"), CheckError);
+  // Robust strategies advertise the capability; weight-based ones don't.
+  EXPECT_TRUE(fl::make_aggregator("krum")->capabilities().robust);
+  EXPECT_TRUE(fl::make_aggregator("median")->capabilities().robust);
+  EXPECT_FALSE(fl::make_aggregator("fedavg")->capabilities().robust);
 }
 
 TEST(Simulation, AccuracyImprovesOverRounds) {
