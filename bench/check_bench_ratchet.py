@@ -2,6 +2,7 @@
 """Bench ratchet: fail CI when a tracked kernel or the FL round regresses.
 
 Usage: check_bench_ratchet.py RESULTS_JSON [RESULTS_JSON...] BASELINE_JSON
+       check_bench_ratchet.py --validate-only BASELINE_JSON
 
 Each RESULTS_JSON is --benchmark_format=json output (bench_micro_kernels,
 bench_fl_round, ...); results from all files are merged by benchmark name.
@@ -25,18 +26,115 @@ BASELINE_JSON (bench/baseline_ci.json, checked in) holds:
   * "counters_min": the same, but a floor — {"bench": name, "counter": name,
     "min": v} requires the counter to be >= v. The wire-policy gate uses
     this to pin "uploads report real, nonzero byte counts".
+
+The baseline is schema-validated before any gate runs: an unknown top-level
+section or a typo'd gate field ("min_ration", "benchs") is a hard failure,
+never a silently-skipped gate. Keys starting with "_" are commentary and
+exempt everywhere. `--validate-only BASELINE_JSON` runs just the schema
+check (the CI lint job uses this; no bench results needed).
 """
 
 import json
+import numbers
 import sys
+
+TOP_LEVEL_KEYS = {"tolerance", "gflops", "ratios", "counters_max",
+                  "counters_min"}
+GATE_FIELDS = {
+    "ratios": ({"fast": str, "slow": str, "min_ratio": numbers.Real},
+               {"fast_scale": numbers.Real}),
+    "counters_max": ({"bench": str, "counter": str, "max": numbers.Real}, {}),
+    "counters_min": ({"bench": str, "counter": str, "min": numbers.Real}, {}),
+}
+
+
+def validate_baseline(baseline) -> list:
+    """Schema errors in a ratchet baseline, [] when well-formed."""
+    errors = []
+    if not isinstance(baseline, dict):
+        return ["baseline must be a JSON object"]
+    for key in baseline:
+        if not key.startswith("_") and key not in TOP_LEVEL_KEYS:
+            errors.append(f"unknown top-level key {key!r} (known: "
+                          f"{', '.join(sorted(TOP_LEVEL_KEYS))})")
+
+    tolerance = baseline.get("tolerance", 0.20)
+    if not isinstance(tolerance, numbers.Real) or isinstance(tolerance, bool) \
+            or not 0.0 <= float(tolerance) < 1.0:
+        errors.append(f"tolerance must be a number in [0, 1), got "
+                      f"{tolerance!r}")
+
+    gflops = baseline.get("gflops", {})
+    if not isinstance(gflops, dict):
+        errors.append("gflops must be an object of benchmark -> floor")
+    else:
+        for name, floor in gflops.items():
+            if name.startswith("_"):
+                continue
+            if not isinstance(floor, numbers.Real) or isinstance(floor, bool) \
+                    or float(floor) <= 0.0:
+                errors.append(f"gflops[{name!r}] floor must be a positive "
+                              f"number, got {floor!r}")
+
+    for section, (required, optional) in GATE_FIELDS.items():
+        gates = baseline.get(section, [])
+        if not isinstance(gates, list):
+            errors.append(f"{section} must be a list of gate objects")
+            continue
+        for i, gate in enumerate(gates):
+            where = f"{section}[{i}]"
+            if not isinstance(gate, dict):
+                errors.append(f"{where} must be an object")
+                continue
+            for field, ftype in required.items():
+                if field not in gate:
+                    errors.append(f"{where} missing required field "
+                                  f"{field!r}")
+                elif not isinstance(gate[field], ftype) \
+                        or isinstance(gate[field], bool):
+                    errors.append(f"{where}.{field} must be "
+                                  f"{ftype.__name__}, got {gate[field]!r}")
+            for field, value in gate.items():
+                if field.startswith("_") or field in required:
+                    continue
+                if field not in optional:
+                    errors.append(
+                        f"{where} has unknown field {field!r} (known: "
+                        f"{', '.join(sorted({**required, **optional}))})")
+                elif not isinstance(value, optional[field]) \
+                        or isinstance(value, bool):
+                    errors.append(f"{where}.{field} must be "
+                                  f"{optional[field].__name__}, "
+                                  f"got {value!r}")
+    return errors
+
+
+def load_and_validate(path):
+    with open(path) as f:
+        baseline = json.load(f)
+    errors = validate_baseline(baseline)
+    if errors:
+        print(f"Baseline schema errors in {path}:", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return None
+    return baseline
 
 
 def main() -> int:
-    if len(sys.argv) < 3:
+    argv = sys.argv[1:]
+    if len(argv) == 2 and argv[0] == "--validate-only":
+        baseline = load_and_validate(argv[1])
+        if baseline is None:
+            return 2
+        print(f"{argv[1]}: baseline schema ok")
+        return 0
+    if len(argv) < 2:
         print(__doc__)
         return 2
-    with open(sys.argv[-1]) as f:
-        baseline = json.load(f)
+    baseline = load_and_validate(argv[-1])
+    if baseline is None:
+        return 2
 
     # items_per_second is flops/sec for the kernel benches (SetItemsProcessed
     # of 2*m*n*k) and rounds/sec for the FL round benches; index every

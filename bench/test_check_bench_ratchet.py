@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_ratchet.py.
+
+Covers the schema validator (a typo'd gate key must hard-fail, never
+silently skip a gate), the --validate-only CLI mode the CI lint job runs
+against the checked-in baseline, and the gate arithmetic itself on
+synthetic results.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.realpath(__file__))
+SCRIPT = os.path.join(HERE, "check_bench_ratchet.py")
+BASELINE_CI = os.path.join(HERE, "baseline_ci.json")
+
+sys.path.insert(0, HERE)
+from check_bench_ratchet import validate_baseline  # noqa: E402
+
+
+def good_baseline():
+    return {
+        "_comment": "synthetic",
+        "tolerance": 0.2,
+        "gflops": {"BM_Gemm/256": 10.0, "_note": "commentary allowed"},
+        "ratios": [{"fast": "BM_Fast", "slow": "BM_Slow", "min_ratio": 2.0,
+                    "fast_scale": 0.5, "_comment": "why"}],
+        "counters_max": [{"bench": "BM_Round", "counter": "allocs",
+                          "max": 0}],
+        "counters_min": [{"bench": "BM_Round", "counter": "bytes",
+                          "min": 1}],
+    }
+
+
+class ValidateBaselineTests(unittest.TestCase):
+    def test_good_baseline_passes(self):
+        self.assertEqual(validate_baseline(good_baseline()), [])
+
+    def test_checked_in_baseline_passes(self):
+        with open(BASELINE_CI) as fh:
+            self.assertEqual(validate_baseline(json.load(fh)), [])
+
+    def assert_error(self, baseline, fragment):
+        errors = validate_baseline(baseline)
+        self.assertTrue(any(fragment in e for e in errors),
+                        f"expected an error mentioning {fragment!r}, "
+                        f"got {errors}")
+
+    def test_unknown_top_level_key(self):
+        b = good_baseline()
+        b["gflop"] = b.pop("gflops")  # the typo that silently drops floors
+        self.assert_error(b, "unknown top-level key 'gflop'")
+
+    def test_typod_gate_field(self):
+        b = good_baseline()
+        gate = b["ratios"][0]
+        gate["min_ration"] = gate.pop("min_ratio")
+        errors = validate_baseline(b)
+        self.assertTrue(any("min_ration" in e for e in errors), errors)
+        self.assertTrue(any("missing required field 'min_ratio'" in e
+                            for e in errors), errors)
+
+    def test_wrong_field_type(self):
+        b = good_baseline()
+        b["counters_max"][0]["max"] = "0"
+        self.assert_error(b, "counters_max[0].max")
+
+    def test_bool_is_not_a_number(self):
+        b = good_baseline()
+        b["ratios"][0]["min_ratio"] = True
+        self.assert_error(b, "ratios[0].min_ratio")
+
+    def test_negative_gflops_floor(self):
+        b = good_baseline()
+        b["gflops"]["BM_Gemm/256"] = -1.0
+        self.assert_error(b, "gflops['BM_Gemm/256']")
+
+    def test_tolerance_out_of_range(self):
+        b = good_baseline()
+        b["tolerance"] = 1.5
+        self.assert_error(b, "tolerance")
+
+    def test_gate_list_not_a_list(self):
+        b = good_baseline()
+        b["ratios"] = {"fast": "a"}
+        self.assert_error(b, "ratios must be a list")
+
+    def test_commentary_keys_are_exempt(self):
+        b = good_baseline()
+        b["_anything"] = {"free": "form"}
+        b["ratios"][0]["_why"] = "because"
+        self.assertEqual(validate_baseline(b), [])
+
+
+class CliTests(unittest.TestCase):
+    def run_script(self, *args):
+        return subprocess.run([sys.executable, SCRIPT, *args],
+                              capture_output=True, text=True)
+
+    def write(self, td, name, payload):
+        path = os.path.join(td, name)
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        return path
+
+    def results(self, **items_per_second):
+        return {"benchmarks": [
+            {"name": name, "items_per_second": ips, "allocs": 0.0,
+             "bytes": 8.0}
+            for name, ips in items_per_second.items()]}
+
+    def test_validate_only_checked_in_baseline(self):
+        proc = self.run_script("--validate-only", BASELINE_CI)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("schema ok", proc.stdout)
+
+    def test_validate_only_rejects_typo(self):
+        b = good_baseline()
+        b["ratio"] = b.pop("ratios")
+        with tempfile.TemporaryDirectory() as td:
+            path = self.write(td, "bad.json", b)
+            proc = self.run_script("--validate-only", path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("unknown top-level key 'ratio'", proc.stderr)
+
+    def test_gates_pass_and_fail(self):
+        with tempfile.TemporaryDirectory() as td:
+            baseline = self.write(td, "baseline.json", good_baseline())
+            ok = self.write(td, "ok.json", self.results(
+                **{"BM_Gemm/256": 10e9, "BM_Fast": 100.0, "BM_Slow": 10.0,
+                   "BM_Round": 1.0}))
+            proc = self.run_script(ok, baseline)
+            self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+            # 5x raw but fast_scale 0.5 -> 2.5x >= 2.0 passes; drop the fast
+            # side below 4x raw and the scaled ratio must fail.
+            slow = self.write(td, "slow.json", self.results(
+                **{"BM_Gemm/256": 10e9, "BM_Fast": 30.0, "BM_Slow": 10.0,
+                   "BM_Round": 1.0}))
+            proc = self.run_script(slow, baseline)
+            self.assertEqual(proc.returncode, 1)
+            self.assertIn("BM_Fast", proc.stderr)
+
+    def test_results_never_checked_against_broken_baseline(self):
+        b = good_baseline()
+        b["counters_max"][0]["mxa"] = b["counters_max"][0].pop("max")
+        with tempfile.TemporaryDirectory() as td:
+            baseline = self.write(td, "baseline.json", b)
+            ok = self.write(td, "ok.json", self.results(
+                **{"BM_Gemm/256": 10e9, "BM_Fast": 100.0, "BM_Slow": 10.0,
+                   "BM_Round": 1.0}))
+            proc = self.run_script(ok, baseline)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("mxa", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/annotations.h"
 #include "tensor/check.h"
 
 namespace goldfish::fl {
@@ -31,14 +32,17 @@ std::vector<float> Aggregator::weights(
                          "wise robust strategies override aggregate())");
 }
 
-std::vector<Tensor> Aggregator::aggregate(
+GOLDFISH_HOT std::vector<Tensor> Aggregator::aggregate(
     const std::vector<ClientUpdate>& updates,
     const std::vector<float>* multipliers) const {
   check_multipliers(updates, multipliers);
   // Snapshots are borrowed, not copied: the historical per-round clone of
   // every client's full parameter set is gone.
   std::vector<const std::vector<Tensor>*> snaps;
+  // goldfish-lint: allow(ALLOC002) bounded borrow-pointer vector, one
+  // reserve per aggregate — no client parameters are copied
   snaps.reserve(updates.size());
+  // goldfish-lint: allow(ALLOC002) within the capacity reserved above
   for (const ClientUpdate& u : updates) snaps.push_back(&u.params);
   std::vector<float> w = weights(updates);
   if (multipliers)

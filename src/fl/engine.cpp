@@ -791,16 +791,16 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
                                     &task_local_acc, eval_in_task, wirep,
                                     hold_ref, lossy, round_base] {
         const Schedule::Task& tp = plan.tasks[id];
-        const std::size_t v = static_cast<std::size_t>(tp.from_version);
+        const std::size_t from_v = static_cast<std::size_t>(tp.from_version);
         ModelLease lease(*this);
         nn::Model& local = lease.get();
         // Broadcast: load version v's parameters and zero the gradient
         // accumulators (exactly what copy_from does for a deep clone).
-        local.load(version_params[v]);
+        local.load(version_params[from_v]);
         local.zero_grad();
         if (!hold_ref &&
-            version_refs[v].fetch_sub(1, std::memory_order_acq_rel) == 1)
-          version_params[v].clear();
+            version_refs[from_v].fetch_sub(1, std::memory_order_acq_rel) == 1)
+          version_params[from_v].clear();
         const data::Dataset& ds =
             *epoch_data[tp.client][static_cast<std::size_t>(tp.epoch)];
         update_fn_(tp.client, local, ds, round_base + tp.index);
@@ -810,7 +810,7 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
         // thread; its capacity is retained across tasks.
         static thread_local std::string wire_buf;
         std::vector<Tensor> snap = local.snapshot();
-        const std::vector<Tensor>* ref = hold_ref ? &version_params[v] : nullptr;
+        const std::vector<Tensor>* ref = hold_ref ? &version_params[from_v] : nullptr;
         wirep->encode(snap, ref, wire_buf);
         wire_bytes[id] = wire_buf.size();
         task_updates[id].params =
@@ -818,8 +818,8 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
         if (lossy)
           task_err[id] = wire_reconstruction_error(snap, task_updates[id].params);
         if (hold_ref &&
-            version_refs[v].fetch_sub(1, std::memory_order_acq_rel) == 1)
-          version_params[v].clear();
+            version_refs[from_v].fetch_sub(1, std::memory_order_acq_rel) == 1)
+          version_params[from_v].clear();
         task_updates[id].dataset_size = ds.size();
         task_updates[id].staleness = tp.staleness;
         if (eval_in_task) task_local_acc[id] = eval_.accuracy(local);

@@ -88,14 +88,14 @@ void Model::load(const std::vector<Tensor>& values) {
   }
 }
 
-void axpy(std::vector<Tensor>& result, const std::vector<Tensor>& delta,
-          float scale) {
+GOLDFISH_HOT void axpy(std::vector<Tensor>& result,
+                       const std::vector<Tensor>& delta, float scale) {
   GOLDFISH_CHECK(result.size() == delta.size(), "axpy snapshot size");
   for (std::size_t i = 0; i < result.size(); ++i)
     result[i].add_scaled(delta[i], scale);
 }
 
-std::vector<Tensor> weighted_average(
+GOLDFISH_HOT std::vector<Tensor> weighted_average(
     const std::vector<const std::vector<Tensor>*>& snaps,
     const std::vector<float>& weights) {
   GOLDFISH_CHECK(!snaps.empty(), "no snapshots to average");
@@ -113,12 +113,15 @@ std::vector<Tensor> weighted_average(
   const std::vector<Tensor>& first = *snaps[0];
   const float w0 = weights[0] / total;
   std::vector<Tensor> out;
+  // goldfish-lint: allow(ALLOC002) output header vector sized once per
+  // aggregate; the element FloatBuffers come from the round's buffer pool
   out.reserve(first.size());
   for (const Tensor& t : first) {
     Tensor acc = Tensor::uninit(t.shape());
     const float* src = t.data();
     float* dst = acc.data();
     for (std::size_t i = 0; i < t.numel(); ++i) dst[i] = src[i] * w0;
+    // goldfish-lint: allow(ALLOC002) within the capacity reserved above
     out.push_back(std::move(acc));
   }
   for (std::size_t s = 1; s < snaps.size(); ++s) {

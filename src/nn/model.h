@@ -15,6 +15,7 @@
 
 #include "nn/layer.h"
 #include "nn/workspace.h"
+#include "tensor/annotations.h"
 
 namespace goldfish::nn {
 
@@ -86,14 +87,14 @@ class Model {
 // sums the paper writes as Σ (|D_i|/|D|)·ω_i.
 
 /// result += scale · delta (elementwise across the whole snapshot).
-void axpy(std::vector<Tensor>& result, const std::vector<Tensor>& delta,
-          float scale);
+GOLDFISH_HOT void axpy(std::vector<Tensor>& result,
+                       const std::vector<Tensor>& delta, float scale);
 
 /// Weighted average of *borrowed* snapshots; weights need not be
 /// normalized. Accumulates in place into freshly sized output tensors — no
 /// snapshot is copied, which is what keeps server aggregation from cloning
 /// the whole federation's parameters every round.
-std::vector<Tensor> weighted_average(
+GOLDFISH_HOT std::vector<Tensor> weighted_average(
     const std::vector<const std::vector<Tensor>*>& snaps,
     const std::vector<float>& weights);
 

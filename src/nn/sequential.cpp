@@ -9,7 +9,7 @@
 
 namespace goldfish::nn {
 
-Sequential::Sequential(const Sequential& other) {
+Sequential::Sequential(const Sequential& other) : Layer(other) {
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
 }
@@ -117,7 +117,8 @@ ResidualBlock::ResidualBlock(long in_channels, long out_channels, long stride,
 }
 
 ResidualBlock::ResidualBlock(const ResidualBlock& other)
-    : conv1_(other.conv1_->clone()),
+    : Layer(other),
+      conv1_(other.conv1_->clone()),
       bn1_(other.bn1_->clone()),
       relu1_(other.relu1_->clone()),
       conv2_(other.conv2_->clone()),

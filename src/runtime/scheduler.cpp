@@ -1,5 +1,7 @@
 #include "runtime/scheduler.h"
 
+#include "tensor/annotations.h"
+
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
@@ -182,7 +184,7 @@ void Scheduler::enqueue(std::function<void()> fn) {
   push_task(new Task{std::move(fn), nullptr});
 }
 
-void Scheduler::push_task(Task* task) {
+GOLDFISH_HOT void Scheduler::push_task(Task* task) {
   Slot* own = (tls_binding_.sched == this) ? tls_binding_.slot : nullptr;
   if (own == nullptr || !own->deque.push(task)) inject(task);
   wake_one();
@@ -205,7 +207,8 @@ Scheduler::Task* Scheduler::pop_injection() {
   return task;
 }
 
-Scheduler::Task* Scheduler::acquire_task(Slot* own, std::uint64_t& rng_state) {
+GOLDFISH_HOT Scheduler::Task* Scheduler::acquire_task(
+    Slot* own, std::uint64_t& rng_state) {
   if (own != nullptr)
     if (Task* task = own->deque.pop()) return task;
   if (injection_size_.load(std::memory_order_relaxed) > 0)
@@ -243,7 +246,7 @@ bool Scheduler::has_pending_work() {
   return false;
 }
 
-void Scheduler::wake_one() {
+GOLDFISH_HOT void Scheduler::wake_one() {
   // Dekker pair with the parking sequence in worker_loop: the push that
   // preceded this call was seq_cst, so either we observe the sleeper here
   // or the sleeper's post-registration sweep observes our push.
@@ -255,7 +258,7 @@ void Scheduler::wake_one() {
   sleep_cv_.notify_one();
 }
 
-bool Scheduler::try_run_one() {
+GOLDFISH_HOT bool Scheduler::try_run_one() {
   thread_local std::uint64_t rng_state =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1u;
   Slot* own = (tls_binding_.sched == this) ? tls_binding_.slot : nullptr;

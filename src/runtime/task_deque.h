@@ -16,6 +16,8 @@
 #include <atomic>
 #include <cstddef>
 
+#include "tensor/annotations.h"
+
 namespace goldfish::runtime {
 
 template <typename T, std::size_t kCapacity>
@@ -26,7 +28,7 @@ class TaskDeque {
 
  public:
   /// Owner only. False when the ring is full (caller must overflow).
-  bool push(T item) {
+  GOLDFISH_HOT bool push(T item) {
     const long b = bottom_.load(std::memory_order_relaxed);
     const long t = top_.load(std::memory_order_acquire);
     if (b - t >= static_cast<long>(kCapacity)) return false;
@@ -39,7 +41,7 @@ class TaskDeque {
   }
 
   /// Owner only. nullptr when empty (or a thief won the last element).
-  T pop() {
+  GOLDFISH_HOT T pop() {
     const long b = bottom_.load(std::memory_order_relaxed) - 1;
     bottom_.store(b, std::memory_order_seq_cst);
     long t = top_.load(std::memory_order_seq_cst);
@@ -59,7 +61,7 @@ class TaskDeque {
 
   /// Any thread. nullptr when empty or when losing a race (the caller's
   /// sweep just moves on to the next victim and comes back around).
-  T steal() {
+  GOLDFISH_HOT T steal() {
     long t = top_.load(std::memory_order_seq_cst);
     const long b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return nullptr;

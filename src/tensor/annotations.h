@@ -1,0 +1,31 @@
+// GOLDFISH_HOT — the zero-alloc contract, spelled at the declaration.
+//
+// A function marked GOLDFISH_HOT is a steady-state fast path: once the
+// process is warm (pools populated, workspaces sized, wire buffers grown) it
+// must not allocate. The marker does two things:
+//
+//   * tools/lint/goldfish_lint.py enforces the ALLOC rule family on every
+//     annotated *definition*: no direct `new` / `make_unique` / `make_shared`
+//     (ALLOC001) and no growing container ops — push_back, emplace_back,
+//     resize, reserve, insert, append (ALLOC002). Violations fail CI unless
+//     suppressed inline with a reasoned
+//     `// goldfish-lint: allow(RULE) reason` (e.g. a monotonic thread_local
+//     buffer whose capacity is reused across rounds) or burned down via the
+//     checked-in baseline. See docs/static-analysis.md.
+//   * Under clang it also carries an `annotate("goldfish::hot")` attribute so
+//     AST-based tooling finds annotated functions without token matching,
+//     plus the optimizer `hot` hint; gcc gets the `hot` hint alone.
+//
+// Annotate the definition (that is where the lint checks the body); also
+// annotating a separate declaration is fine and documents the contract at
+// the API surface. This header is dependency-free on purpose — every layer,
+// tensor/ included, may use it.
+#pragma once
+
+#if defined(__clang__)
+#define GOLDFISH_HOT __attribute__((annotate("goldfish::hot"), hot))
+#elif defined(__GNUC__)
+#define GOLDFISH_HOT __attribute__((hot))
+#else
+#define GOLDFISH_HOT
+#endif

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <numeric>
 
+#include "tensor/annotations.h"
 #include "tensor/check.h"
 
 namespace goldfish {
@@ -111,12 +112,15 @@ void append(std::string& out, T v) {
 
 }  // namespace
 
-void serialize_tensors(const std::vector<Tensor>& ts, std::string& out) {
+GOLDFISH_HOT void serialize_tensors(const std::vector<Tensor>& ts,
+                                    std::string& out) {
   out.clear();
   std::size_t total = sizeof(std::uint32_t);
   for (const Tensor& t : ts)
     total += 2 * sizeof(std::uint32_t) + t.rank() * sizeof(std::int64_t) +
              t.numel() * sizeof(float);
+  // goldfish-lint: allow(ALLOC002) callers pass a thread_local wire buffer
+  // whose capacity is monotonic — steady-state rounds reuse it, alloc-free
   out.reserve(total);
   append(out, static_cast<std::uint32_t>(ts.size()));
   for (const Tensor& t : ts) {
@@ -125,6 +129,7 @@ void serialize_tensors(const std::vector<Tensor>& ts, std::string& out) {
     for (std::size_t i = 0; i < t.rank(); ++i)
       append(out, static_cast<std::int64_t>(t.dim(i)));
     if (t.numel() != 0)
+      // goldfish-lint: allow(ALLOC002) within the capacity reserved above
       out.append(reinterpret_cast<const char*>(t.data()),
                  t.numel() * sizeof(float));
   }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/annotations.h"
 #include "tensor/tensor.h"
 
 namespace goldfish {
@@ -30,7 +31,8 @@ std::vector<Tensor> load_tensors(const std::string& path);
 /// Serialize a parameter list into `out` (cleared first, capacity reused) in
 /// exactly the bytes save_tensors would write. The FL upload path keeps one
 /// such buffer per worker thread so steady-state rounds stop allocating.
-void serialize_tensors(const std::vector<Tensor>& ts, std::string& out);
+GOLDFISH_HOT void serialize_tensors(const std::vector<Tensor>& ts,
+                                    std::string& out);
 
 /// Parse a buffer produced by serialize_tensors / save_tensors. Throws on
 /// malformed or truncated input.

@@ -1,0 +1,52 @@
+// ALLOC fixture: a GOLDFISH_HOT function may not allocate — no direct new /
+// make_unique / make_shared (ALLOC001), no growing container ops
+// (ALLOC002). The same code outside an annotated function is not flagged:
+// the contract is scoped to declared fast paths, not the whole tree.
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#ifndef GOLDFISH_HOT
+#define GOLDFISH_HOT __attribute__((hot))
+#endif
+
+struct Update {
+  std::vector<float> values;
+};
+
+GOLDFISH_HOT float hot_aggregate(std::vector<Update>& buffer,
+                                 const Update& incoming) {
+  buffer.push_back(incoming);                     // EXPECT: ALLOC002
+  auto scratch = std::make_unique<Update>();      // EXPECT: ALLOC001
+  scratch->values.resize(incoming.values.size()); // EXPECT: ALLOC002
+  float* raw = new float[4];                      // EXPECT: ALLOC001
+  delete[] raw;
+  float s = 0.0f;
+  for (const Update& u : buffer)
+    for (float v : u.values) s += v;
+  return s;
+}
+
+// Identical body, not annotated: setup/cold paths may allocate freely.
+// No finding expected.
+float cold_aggregate(std::vector<Update>& buffer, const Update& incoming) {
+  buffer.push_back(incoming);
+  auto scratch = std::make_unique<Update>();
+  scratch->values.resize(incoming.values.size());
+  float* raw = new float[4];
+  delete[] raw;
+  float s = 0.0f;
+  for (const Update& u : buffer)
+    for (float v : u.values) s += v;
+  return s;
+}
+
+// An annotated *declaration* has no body to check; the definition is where
+// enforcement happens. No finding expected.
+GOLDFISH_HOT float declared_elsewhere(const Update& u);
+
+GOLDFISH_HOT float hot_clean(const Update& u) {
+  float s = 0.0f;
+  for (float v : u.values) s += v;
+  return s;
+}

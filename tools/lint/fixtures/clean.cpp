@@ -1,0 +1,47 @@
+// Negative fixture: determinism-respecting idioms that must NOT be flagged.
+// A linter that cries wolf here would push people toward blanket allows.
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#ifndef GOLDFISH_HOT
+#define GOLDFISH_HOT __attribute__((hot))
+#endif
+
+// Seeded stream: reproducible per scenario seed.
+float seeded_noise(unsigned seed) {
+  std::mt19937_64 gen(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  return dist(gen);
+}
+
+// Unordered containers as lookup structures (no iteration) are fine.
+float lookup(const std::unordered_map<int, float>& weights, int id) {
+  auto it = weights.find(id);
+  return it == weights.end() ? 0.0f : it->second;
+}
+
+// Iterating a sorted, value-keyed map is deterministic.
+float sum_sorted(const std::map<int, float>& weights) {
+  float s = 0.0f;
+  for (const auto& [id, w] : weights) {
+    (void)id;
+    s += w;
+  }
+  return s;
+}
+
+// Sorting by value (never by pointer) is deterministic.
+void order_ids(std::vector<std::size_t>& ids) {
+  std::sort(ids.begin(), ids.end());
+}
+
+// Hot path writing through preallocated storage: the contract holds.
+GOLDFISH_HOT void scale_into(const std::vector<float>& src, float k,
+                             std::vector<float>& dst) {
+  for (std::size_t i = 0; i < src.size() && i < dst.size(); ++i)
+    dst[i] = src[i] * k;
+}

@@ -1,0 +1,35 @@
+// DET004 fixture: ordered containers keyed by raw pointer value. std::map /
+// std::set iterate in key order, and for pointer keys that is allocation
+// address order — which varies run to run (ASLR, allocator history). Key by
+// a stable id instead.
+#include <map>
+#include <set>
+
+struct Client {
+  int id = 0;
+};
+
+int sum_by_address_order() {
+  std::map<Client*, int> scores;           // EXPECT: DET004
+  int total = 0;
+  for (const auto& [c, s] : scores) {
+    (void)c;
+    total += s;
+  }
+  return total;
+}
+
+bool track(const Client* c) {
+  static std::set<const Client*> seen;     // EXPECT: DET004
+  return seen.insert(c).second;
+}
+
+// Value keys iterate in a run-independent order. No finding expected.
+int sum_by_id(const std::map<int, int>& scores) {
+  int total = 0;
+  for (const auto& [id, s] : scores) {
+    (void)id;
+    total += s;
+  }
+  return total;
+}

@@ -1,0 +1,27 @@
+// DET001 fixture: banned randomness sources. Every engine-visible random
+// stream must come from a seeded generator (tensor/rng.h) so runs replay
+// bit-identically; ambient entropy below breaks that silently.
+// The `EXPECT: <rule>` markers are what test_goldfish_lint.py pins.
+#include <cstdlib>
+#include <random>
+
+int ambient_entropy() {
+  std::random_device rd;              // EXPECT: DET001
+  return static_cast<int>(rd());
+}
+
+int libc_rand() {
+  std::srand(42);                     // EXPECT: DET001
+  return std::rand();                 // EXPECT: DET001
+}
+
+double posix_rand() {
+  return drand48();                   // EXPECT: DET001
+}
+
+// Seeded engines are fine: the seed is part of the scenario, so the stream
+// is reproducible. No finding expected.
+int seeded_ok(unsigned seed) {
+  std::mt19937 gen(seed);
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,43 @@
+// DET003 fixture: the canonical nondeterminism bug this rule exists for —
+// client updates keyed by id in an unordered_map, aggregated by iterating
+// it. Float addition is not associative, so the aggregate (and every
+// StepResult downstream of it) differs between runs whenever libstdc++'s
+// hash seeding or rehash history changes the bucket order. The fix is to
+// iterate a sorted id list (or a vector indexed by arrival order) instead.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct StepResult {
+  float aggregate = 0.0f;
+  std::size_t clients = 0;
+};
+
+StepResult aggregate_updates(
+    const std::unordered_map<int, float>& update_by_client) {
+  StepResult out;
+  float total = 0.0f;
+  for (const auto& [id, update] : update_by_client) {  // EXPECT: DET003
+    (void)id;
+    total += update;  // FP sum in hash-bucket order: run-dependent
+    ++out.clients;
+  }
+  out.aggregate = total;
+  return out;
+}
+
+float sum_members(const std::unordered_set<float>& xs) {
+  float s = 0.0f;
+  for (float x : xs) s += x;  // EXPECT: DET003
+  return s;
+}
+
+// Membership queries never observe iteration order. No finding expected.
+std::size_t count_doomed(const std::unordered_set<std::size_t>& doomed,
+                         const std::vector<std::size_t>& rows) {
+  std::size_t n = 0;
+  for (std::size_t r : rows)
+    if (doomed.count(r) != 0) ++n;
+  return n;
+}

@@ -1,0 +1,38 @@
+// DET002 fixture: wall-clock reads. Schedules are built on the virtual
+// clock (fl::VirtualClock) or replayed traces (fl::TraceClock); reading a
+// real clock makes task ordering — and therefore the aggregation stream —
+// machine- and load-dependent.
+#include <chrono>
+#include <ctime>
+
+double now_seconds() {
+  auto t = std::chrono::steady_clock::now();     // EXPECT: DET002
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long unix_time() {
+  return static_cast<long>(time(nullptr));       // EXPECT: DET002
+}
+
+long std_qualified_time() {
+  return static_cast<long>(std::time(nullptr));  // EXPECT: DET002
+}
+
+long epoch_ms() {
+  using clk = std::chrono::system_clock;         // EXPECT: DET002
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             clk::now().time_since_epoch())
+      .count();
+}
+
+// Durations without a clock read are fine (scheduler wait timeouts): the
+// wait length never feeds a result. No finding expected.
+long timeout_only() {
+  return std::chrono::milliseconds(2).count();
+}
+
+// Member calls named `time` are not the libc call. No finding expected.
+struct Telemetry {
+  double time() const { return 0.0; }
+};
+double member_time(const Telemetry& t) { return t.time(); }

@@ -1,0 +1,31 @@
+// Suppression fixture: reasoned `goldfish-lint: allow(RULE)` comments mute
+// a finding on the same line or on the next code line; an allow with no
+// reason is itself a finding (SUP001) — debt must say why it is safe.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#ifndef GOLDFISH_HOT
+#define GOLDFISH_HOT __attribute__((hot))
+#endif
+
+void drain(std::unordered_map<std::size_t, std::vector<float*>>& pools) {
+  // Order-insensitive: every pointer is freed exactly once regardless of
+  // bucket order, so hash iteration cannot leak into any result.
+  // goldfish-lint: allow(DET003) deallocation-only drain, order-insensitive
+  for (auto& [n, ptrs] : pools) {
+    (void)n;
+    for (float* p : ptrs) delete p;
+  }
+  pools.clear();
+}
+
+GOLDFISH_HOT void warm(std::vector<float>& buf, std::size_t n) {
+  buf.reserve(n);  // goldfish-lint: allow(ALLOC002) one-time warmup growth
+}
+
+GOLDFISH_HOT void unreasoned(std::vector<float>& buf) {
+  // EXPECT-NEXT: SUP001
+  // goldfish-lint: allow(ALLOC002)
+  buf.push_back(0.0f);                        // EXPECT: ALLOC002
+}

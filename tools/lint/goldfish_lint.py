@@ -1,0 +1,804 @@
+#!/usr/bin/env python3
+"""goldfish-lint: repo-specific static enforcement of the determinism and
+zero-allocation contracts (docs/static-analysis.md has the full catalog).
+
+The engine runs are bit-identical at any thread count and allocation-free in
+steady state. Those contracts are enforced dynamically by golden-stream tests,
+GOLDFISH_ALLOC_STATS counters and TSan — but a stray wall-clock read or an
+unordered_map iteration compiles clean and only fails when a sweep happens to
+catch it. This checker makes the cheap half static:
+
+  DET001  banned randomness source (std::rand, std::random_device, *rand48)
+          in a determinism-scoped directory (src/fl, src/runtime, src/core).
+  DET002  wall-clock read (system_clock / steady_clock /
+          high_resolution_clock, time(), clock(), gettimeofday,
+          clock_gettime, timespec_get) in a determinism-scoped directory.
+          The TraceClock policy replays *recorded* durations and needs no
+          clock; bench binaries (bench/) are outside the scope by design.
+  DET003  range-for over an unordered container in a determinism-scoped
+          directory. Hash-iteration order is libstdc++-internal and
+          pointer/seed dependent; results that feed StepResult streams or
+          aggregation silently stop being bit-identical. Order-insensitive
+          loops (e.g. freeing every pointer in a drained pool) carry an
+          inline allow with the reason.
+  DET004  ordered container keyed by raw pointer (std::map<T*, ...>,
+          std::set<T*>, std::less<T*>): iteration order is allocation-address
+          order, different every run.
+  ALLOC001  direct `new` / make_unique / make_shared inside a GOLDFISH_HOT
+            function (src/tensor/annotations.h): hot paths may not allocate.
+  ALLOC002  growing container op (push_back, emplace_back, resize, reserve,
+            insert, emplace, append, assign) inside a GOLDFISH_HOT function.
+  SUP001  a `goldfish-lint: allow(...)` suppression without a reason.
+
+Engines: `--engine=clang` parses each translation unit with libclang (driven
+by compile_commands.json); `--engine=token` is a dependency-free lexical
+fallback; `--engine=auto` (default) picks clang when the python bindings are
+importable and falls back per-file on any parse failure. Both engines share
+suppression parsing, fingerprinting and the baseline gate, and the fixture
+suite (tools/lint/tests) pins them to the same verdicts.
+
+Suppressing a finding:
+    some_call();  // goldfish-lint: allow(DET002) reason why this is safe
+or, on its own line (applies to the next code line):
+    // goldfish-lint: allow(ALLOC002) capacity reserved once per round
+    out.push_back(x);
+
+Baseline workflow: findings fingerprinted in tools/lint/
+goldfish_lint_baseline.json are legacy debt — reported as "baselined", they
+do not fail the run. New findings fail with exit 1. After fixing or
+deliberately accepting findings, refresh with --update-baseline.
+
+Exit codes: 0 clean (possibly with baselined/stale entries), 1 new findings,
+2 usage or infrastructure error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+
+RULES = {
+    "DET001": "banned randomness source in determinism-scoped code",
+    "DET002": "wall-clock read in determinism-scoped code",
+    "DET003": "iteration over an unordered container (hash order leaks)",
+    "DET004": "ordered container keyed by raw pointer (address order leaks)",
+    "ALLOC001": "allocation (new/make_unique/make_shared) in GOLDFISH_HOT",
+    "ALLOC002": "growing container op in GOLDFISH_HOT",
+    "SUP001": "goldfish-lint suppression without a reason",
+}
+
+# Directories (repo-relative) where the DET family applies.
+DEFAULT_DET_SCOPE = ("src/fl", "src/runtime", "src/core")
+# Extensions scanned.
+SOURCE_EXTS = (".h", ".hpp", ".cpp", ".cc", ".cxx")
+
+GROWING_OPS = ("push_back", "emplace_back", "resize", "reserve", "insert",
+               "emplace", "append", "assign")
+
+SUPPRESS_RE = re.compile(
+    r"//\s*goldfish-lint:\s*allow\(([^)]*)\)[ \t]*(.*?)\s*$")
+
+
+class Finding:
+    __slots__ = ("rule", "path", "line", "snippet")
+
+    def __init__(self, rule, path, line, snippet):
+        self.rule = rule
+        self.path = path  # repo-relative, "/" separators
+        self.line = line  # 1-based
+        self.snippet = snippet.strip()
+
+    def normalized(self):
+        return re.sub(r"\s+", " ", self.snippet)
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule)
+
+    def __repr__(self):
+        return f"{self.path}:{self.line}: {self.rule}"
+
+
+def fingerprint(finding, occurrence):
+    """Stable across line renumbering: hashes rule + file + the normalized
+    offending line + its occurrence index among identical lines."""
+    key = "|".join(
+        [finding.rule, finding.path, finding.normalized(), str(occurrence)])
+    return hashlib.sha1(key.encode()).hexdigest()[:16]
+
+
+def assign_fingerprints(findings):
+    """Returns {fingerprint: finding}, disambiguating identical lines by
+    their order of appearance."""
+    seen = {}
+    out = {}
+    for f in sorted(findings, key=lambda x: x.sort_key()):
+        base = (f.rule, f.path, f.normalized())
+        occurrence = seen.get(base, 0)
+        seen[base] = occurrence + 1
+        out[fingerprint(f, occurrence)] = f
+    return out
+
+
+# -- shared lexical helpers ---------------------------------------------------
+
+def mask_comments_and_strings(text):
+    """Replace comment/string contents with spaces, preserving offsets and
+    newlines, so token scans never fire inside either."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    if text[i + 1] != "\n":
+                        out[i + 1] = " "
+                    i += 2
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def is_comment_only(line):
+    s = line.strip()
+    return s == "" or s.startswith("//") or s.startswith("/*") or s == "*/"
+
+
+def parse_suppressions(text, path):
+    """Returns ({line: set(rules)}, [SUP001 findings]). A suppression on a
+    code line covers that line; a standalone suppression comment covers the
+    next non-comment line."""
+    lines = text.splitlines()
+    allowed = {}
+    sup_findings = []
+    for idx, raw in enumerate(lines):
+        m = SUPPRESS_RE.search(raw)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        reason = m.group(2).strip()
+        lineno = idx + 1
+        if not reason or not rules:
+            sup_findings.append(
+                Finding("SUP001", path, lineno, raw))
+            continue
+        before = raw[:m.start()]
+        if before.strip() == "":
+            # Standalone comment: applies to the next code line.
+            target = idx + 1
+            while target < len(lines) and is_comment_only(lines[target]):
+                target += 1
+            lineno = target + 1
+        allowed.setdefault(lineno, set()).update(rules)
+    return allowed, sup_findings
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def snippet_at(lines, lineno):
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1]
+    return ""
+
+
+# -- token engine -------------------------------------------------------------
+
+RAND_CALL_RE = re.compile(r"\b(rand|srand|rand_r|drand48|lrand48|mrand48)"
+                          r"\s*\(")
+RAND_DEVICE_RE = re.compile(r"\brandom_device\b")
+CLOCK_TYPE_RE = re.compile(
+    r"\b(system_clock|steady_clock|high_resolution_clock)\b")
+CLOCK_CALL_RE = re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)"
+                           r"\s*\(")
+STD_TIME_RE = re.compile(r"\bstd\s*::\s*(time|clock)\s*\(")
+BARE_TIME_RE = re.compile(r"(?<![\w.:>])(time|clock)\s*\(")
+UNORDERED_RE = re.compile(r"\bunordered_(map|set|multimap|multiset)\s*<")
+ORDERED_PTR_RE = re.compile(r"\bstd\s*::\s*(map|set|multimap|multiset)\s*<")
+LESS_PTR_RE = re.compile(r"\bstd\s*::\s*less\s*<[^<>]*\*\s*>")
+NEW_RE = re.compile(r"\bnew\b")
+MAKE_RE = re.compile(r"\bmake_(unique|shared)\s*[<(]")
+GROW_RE = re.compile(
+    r"(?:\.|->)\s*(" + "|".join(GROWING_OPS) + r")\s*\(")
+HOT_RE = re.compile(r"\bGOLDFISH_HOT\b")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+
+
+def skip_template_args(text, open_idx):
+    """Index just past the matching '>' for the '<' at open_idx, or None."""
+    depth = 0
+    i = open_idx
+    while i < len(text):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return None  # not actually template args
+        i += 1
+    return None
+
+
+def first_template_arg(text, open_idx):
+    """The first top-level template argument of the '<' at open_idx."""
+    depth = 0
+    i = open_idx
+    start = open_idx + 1
+    while i < len(text):
+        c = text[i]
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+            if depth == 0:
+                return text[start:i]
+        elif c == "," and depth == 1:
+            return text[start:i]
+        i += 1
+    return ""
+
+
+def brace_depth_events(masked):
+    """[(offset, depth_after)] for every '{' / '}' in masked text."""
+    events = []
+    depth = 0
+    for i, c in enumerate(masked):
+        if c == "{":
+            depth += 1
+            events.append((i, depth))
+        elif c == "}":
+            depth -= 1
+            events.append((i, depth))
+    return events
+
+
+def unordered_var_decls(masked):
+    """[(offset, name, required_depth)] for identifiers declared with an
+    unordered container type. A declaration taints a later range-for only
+    while the brace depth never drops below required_depth in between:
+    locals bind to their own scope, parameters (terminated by ',' or ')')
+    to the function body one level deeper. This keeps the lexical engine
+    from carrying a name across function boundaries — `weights` being an
+    unordered_map parameter in one function must not flag a std::map
+    loop over a same-named variable in the next."""
+    events = brace_depth_events(masked)
+    decls = []
+    ei = 0
+    depth = 0
+    for m in UNORDERED_RE.finditer(masked):
+        close = skip_template_args(masked, m.end() - 1)
+        if close is None:
+            continue
+        tail = masked[close:close + 160]
+        dm = re.match(r"\s*[&*]*\s*(?:const\s+)?([A-Za-z_]\w*)\s*([;,=({\[)])",
+                      tail)
+        if not dm:
+            continue
+        while ei < len(events) and events[ei][0] < m.start():
+            depth = events[ei][1]
+            ei += 1
+        required = depth + 1 if dm.group(2) in (",", ")") else depth
+        decls.append((m.start(), dm.group(1), required))
+    return decls
+
+
+DECL_CALL_KEYWORDS = frozenset(
+    {"return", "co_return", "co_yield", "co_await", "throw", "case",
+     "else", "do", "and", "or", "not"})
+
+
+def preceded_by_type(masked, start):
+    """True when the token at `start` sits in declaration position — an
+    identifier, '>', '*', or '&' directly before it (`double time() const`)
+    — rather than call position (`return time(nullptr)`, `= time(0)`)."""
+    j = start - 1
+    while j >= 0 and masked[j] in " \t\n":
+        j -= 1
+    if j < 0:
+        return False
+    c = masked[j]
+    if c in ">*&":
+        return True
+    if c.isalnum() or c == "_":
+        k = j
+        while k >= 0 and (masked[k].isalnum() or masked[k] == "_"):
+            k -= 1
+        return masked[k + 1:j + 1] not in DECL_CALL_KEYWORDS
+    return False
+
+
+def range_for_spans(masked):
+    """Yields (start_offset, range_expr) for each range-based for."""
+    for m in RANGE_FOR_RE.finditer(masked):
+        i = m.end() - 1  # at '('
+        depth = 0
+        colon = None
+        j = i
+        while j < len(masked):
+            c = masked[j]
+            if c in "([{":
+                depth += 1
+            elif c in ")]}":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif c == ";" and depth == 1:
+                colon = None  # classic for(;;) — not a range-for
+                break
+            elif c == ":" and depth == 1:
+                if masked[j - 1] != ":" and masked[j + 1:j + 2] != ":":
+                    colon = j
+            j += 1
+        if colon is not None:
+            yield m.start(), masked[colon + 1:j]
+
+
+def hot_function_bodies(masked):
+    """Yields (body_start, body_end) offsets for each GOLDFISH_HOT function
+    *definition* (annotated declarations — ending in ';' before any body
+    brace — are skipped)."""
+    for m in HOT_RE.finditer(masked):
+        i = m.end()
+        depth = 0
+        saw_params = False
+        body_start = None
+        while i < len(masked):
+            c = masked[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    saw_params = True
+            elif c == ";" and depth == 0:
+                break  # declaration only
+            elif c == "{" and depth == 0 and saw_params:
+                body_start = i
+                break
+            i += 1
+        if body_start is None:
+            continue
+        depth = 0
+        j = body_start
+        while j < len(masked):
+            if masked[j] == "{":
+                depth += 1
+            elif masked[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    yield body_start, j + 1
+                    break
+            j += 1
+
+
+def token_scan_file(path, relpath, det_scoped):
+    try:
+        text = open(path, encoding="utf-8", errors="replace").read()
+    except OSError as e:
+        print(f"goldfish-lint: cannot read {path}: {e}", file=sys.stderr)
+        return [], {}
+    masked = mask_comments_and_strings(text)
+    lines = text.splitlines()
+    findings = []
+
+    def add(rule, offset):
+        lineno = line_of(masked, offset)
+        findings.append(Finding(rule, relpath, lineno,
+                                snippet_at(lines, lineno)))
+
+    if det_scoped:
+        for m in RAND_CALL_RE.finditer(masked):
+            add("DET001", m.start())
+        for m in RAND_DEVICE_RE.finditer(masked):
+            add("DET001", m.start())
+        for m in CLOCK_TYPE_RE.finditer(masked):
+            add("DET002", m.start())
+        for m in CLOCK_CALL_RE.finditer(masked):
+            add("DET002", m.start())
+        seen_time = set()
+        for m in STD_TIME_RE.finditer(masked):
+            seen_time.add(m.start())
+            add("DET002", m.start())
+        for m in BARE_TIME_RE.finditer(masked):
+            if m.start() not in seen_time \
+                    and not preceded_by_type(masked, m.start()):
+                add("DET002", m.start())
+
+        decls = unordered_var_decls(masked)
+        events = brace_depth_events(masked)
+        for offset, range_expr in range_for_spans(masked):
+            hit = "unordered_" in range_expr
+            if not hit:
+                for d_off, name, required in decls:
+                    if d_off >= offset:
+                        break
+                    if not re.search(r"\b" + re.escape(name) + r"\b",
+                                     range_expr):
+                        continue
+                    between = [d for o, d in events if d_off < o < offset]
+                    if not between or min(between) >= required:
+                        hit = True
+                        break
+            if hit:
+                add("DET003", offset)
+
+        for m in ORDERED_PTR_RE.finditer(masked):
+            if "*" in first_template_arg(masked, m.end() - 1):
+                add("DET004", m.start())
+        for m in LESS_PTR_RE.finditer(masked):
+            add("DET004", m.start())
+
+    for body_start, body_end in hot_function_bodies(masked):
+        body = masked[body_start:body_end]
+        for m in NEW_RE.finditer(body):
+            add("ALLOC001", body_start + m.start())
+        for m in MAKE_RE.finditer(body):
+            add("ALLOC001", body_start + m.start())
+        for m in GROW_RE.finditer(body):
+            add("ALLOC002", body_start + m.start())
+
+    allowed, sup_findings = parse_suppressions(text, relpath)
+    findings = [f for f in findings
+                if f.rule not in allowed.get(f.line, ())]
+    findings.extend(sup_findings)
+    return findings, allowed
+
+
+# -- clang engine -------------------------------------------------------------
+
+def load_libclang():
+    """Import clang.cindex and make sure the shared library resolves.
+    Returns the module or None."""
+    try:
+        import clang.cindex as ci
+    except ImportError:
+        return None
+    try:
+        ci.Index.create()
+        return ci
+    except Exception:
+        for cand in ("libclang.so", "libclang-14.so", "libclang.so.1",
+                     "/usr/lib/llvm-14/lib/libclang.so.1",
+                     "/usr/lib/llvm-15/lib/libclang.so.1",
+                     "/usr/lib/llvm-16/lib/libclang.so.1",
+                     "/usr/lib/llvm-17/lib/libclang.so.1",
+                     "/usr/lib/llvm-18/lib/libclang.so.1"):
+            try:
+                ci.Config.library_file = cand
+                ci.Index.create()
+                return ci
+            except Exception:
+                ci.Config.loaded = False
+        return None
+
+
+def compdb_args(compdb, path):
+    """Compiler args for `path` from compile_commands.json, stripped of
+    output/input/compiler tokens; None when absent."""
+    entry = compdb.get(os.path.realpath(path))
+    if entry is None:
+        return None
+    args = []
+    skip = False
+    for i, a in enumerate(entry):
+        if i == 0 or skip:  # compiler itself / value of -o
+            skip = False
+            continue
+        if a in ("-o", "-c"):
+            skip = (a == "-o")
+            continue
+        if os.path.realpath(a) == os.path.realpath(path):
+            continue
+        args.append(a)
+    return args
+
+
+RAND_NAMES = {"rand", "srand", "rand_r", "drand48", "lrand48", "mrand48",
+              "random_device"}
+CLOCK_NAMES = {"system_clock", "steady_clock", "high_resolution_clock",
+               "gettimeofday", "clock_gettime", "timespec_get", "time",
+               "clock"}
+
+
+def clang_scan_file(ci, path, relpath, det_scoped, args):
+    text = open(path, encoding="utf-8", errors="replace").read()
+    lines = text.splitlines()
+    index = ci.Index.create()
+    tu = index.parse(path, args=args)
+    findings = []
+
+    def add(rule, location):
+        findings.append(Finding(rule, relpath, location.line,
+                                snippet_at(lines, location.line)))
+
+    def in_main_file(cursor):
+        loc = cursor.location
+        return loc.file is not None and os.path.realpath(
+            loc.file.name) == os.path.realpath(path)
+
+    K = ci.CursorKind
+
+    def hot_annotated(cursor):
+        return any(ch.kind == K.ANNOTATE_ATTR
+                   and ch.spelling == "goldfish::hot"
+                   for ch in cursor.get_children())
+
+    def walk_hot_body(cursor):
+        for ch in cursor.walk_preorder():
+            if ch.kind == K.CXX_NEW_EXPR:
+                add("ALLOC001", ch.location)
+            elif ch.kind == K.CALL_EXPR:
+                name = ch.spelling or ""
+                if name in ("make_unique", "make_shared"):
+                    add("ALLOC001", ch.location)
+                elif name in GROWING_OPS:
+                    add("ALLOC002", ch.location)
+
+    def visit(cursor):
+        for ch in cursor.get_children():
+            if not in_main_file(ch):
+                # Still recurse into namespaces etc. that span files.
+                if ch.kind in (K.NAMESPACE, K.TRANSLATION_UNIT):
+                    visit(ch)
+                continue
+            if ch.kind in (K.FUNCTION_DECL, K.CXX_METHOD, K.FUNCTION_TEMPLATE,
+                           K.CONSTRUCTOR, K.DESTRUCTOR):
+                if ch.is_definition() and hot_annotated(ch):
+                    walk_hot_body(ch)
+            if det_scoped:
+                if ch.kind in (K.DECL_REF_EXPR, K.TYPE_REF):
+                    name = ch.spelling.replace("class ", "").split("::")[-1]
+                    if name in RAND_NAMES:
+                        add("DET001", ch.location)
+                    elif name in CLOCK_NAMES and name not in ("time", "clock"):
+                        add("DET002", ch.location)
+                if ch.kind == K.CALL_EXPR and ch.spelling in ("time", "clock",
+                                                             "gettimeofday",
+                                                             "clock_gettime",
+                                                             "timespec_get"):
+                    # A member function that happens to be named `time` is
+                    # not the libc wall clock.
+                    ref = ch.referenced
+                    if ref is None or ref.kind != K.CXX_METHOD:
+                        add("DET002", ch.location)
+                if ch.kind == K.CXX_FOR_RANGE_STMT:
+                    children = list(ch.get_children())
+                    if children:
+                        range_expr = children[-2] if len(children) >= 2 \
+                            else children[0]
+                        t = range_expr.type.spelling if range_expr.type \
+                            else ""
+                        if "unordered_" in t:
+                            add("DET003", ch.location)
+                if ch.kind in (K.VAR_DECL, K.FIELD_DECL, K.PARM_DECL):
+                    t = ch.type.spelling if ch.type else ""
+                    if re.search(r"\b(map|set|multimap|multiset)<[^,<>]*\*",
+                                 t) or re.search(r"\bless<[^<>]*\*\s*>", t):
+                        add("DET004", ch.location)
+            visit(ch)
+
+    visit(tu.cursor)
+
+    # Dedup per (rule, line): the AST visits a node once per reference but
+    # a line is one finding, matching the token engine.
+    unique = {}
+    for f in findings:
+        unique[(f.rule, f.line)] = f
+    findings = list(unique.values())
+
+    allowed, sup_findings = parse_suppressions(text, relpath)
+    findings = [f for f in findings
+                if f.rule not in allowed.get(f.line, ())]
+    findings.extend(sup_findings)
+    return findings
+
+
+# -- driver -------------------------------------------------------------------
+
+def gather_files(paths, repo_root):
+    files = []
+    for p in paths:
+        ap = os.path.join(repo_root, p) if not os.path.isabs(p) else p
+        if os.path.isfile(ap):
+            files.append(ap)
+        else:
+            for dirpath, _dirnames, filenames in os.walk(ap):
+                for fn in sorted(filenames):
+                    if fn.endswith(SOURCE_EXTS):
+                        files.append(os.path.join(dirpath, fn))
+    return sorted(set(files))
+
+
+def load_compdb(path):
+    try:
+        entries = json.load(open(path))
+    except (OSError, ValueError):
+        return {}
+    db = {}
+    for e in entries:
+        f = os.path.realpath(os.path.join(e.get("directory", "."), e["file"]))
+        if "arguments" in e:
+            db[f] = e["arguments"]
+        elif "command" in e:
+            db[f] = e["command"].split()
+    return db
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to scan (default: src/)")
+    ap.add_argument("--repo", default=None, help="repo root")
+    ap.add_argument("--engine", choices=("auto", "clang", "token"),
+                    default="auto")
+    ap.add_argument("--compdb", default=None,
+                    help="compile_commands.json for the clang engine "
+                         "(default: <repo>/build/compile_commands.json)")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline file (default: tools/lint/"
+                         "goldfish_lint_baseline.json)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline to the current findings")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline; report every finding")
+    ap.add_argument("--det-scope", nargs="*", default=None,
+                    help="repo-relative dirs where DET rules apply "
+                         f"(default: {' '.join(DEFAULT_DET_SCOPE)})")
+    ap.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    args = ap.parse_args(argv)
+
+    repo_root = os.path.realpath(
+        args.repo or os.path.join(os.path.dirname(
+            os.path.realpath(__file__)), "..", ".."))
+    paths = args.paths or ["src"]
+    det_scope = tuple(args.det_scope if args.det_scope is not None
+                      else DEFAULT_DET_SCOPE)
+    baseline_path = args.baseline or os.path.join(
+        repo_root, "tools", "lint", "goldfish_lint_baseline.json")
+
+    files = gather_files(paths, repo_root)
+    if not files:
+        print("goldfish-lint: nothing to scan", file=sys.stderr)
+        return 2
+
+    ci = None
+    compdb = {}
+    if args.engine in ("auto", "clang"):
+        ci = load_libclang()
+        if ci is None and args.engine == "clang":
+            print("goldfish-lint: --engine=clang but the libclang python "
+                  "bindings are unavailable", file=sys.stderr)
+            return 2
+        if ci is not None:
+            compdb = load_compdb(
+                args.compdb
+                or os.path.join(repo_root, "build", "compile_commands.json"))
+
+    findings = []
+    for f in files:
+        rel = os.path.relpath(f, repo_root).replace(os.sep, "/")
+        det_scoped = any(
+            d in (".", "") or rel == d
+            or rel.startswith(d.rstrip("/") + "/")
+            for d in det_scope)
+        if ci is not None:
+            cargs = compdb_args(compdb, f) if compdb else None
+            if cargs is None:
+                cargs = ["-std=c++20", "-x", "c++",
+                         "-I" + os.path.join(repo_root, "src")]
+            try:
+                findings.extend(
+                    clang_scan_file(ci, f, rel, det_scoped, cargs))
+                continue
+            except Exception as e:  # fall back per-file, never hard-fail
+                print(f"goldfish-lint: clang engine failed on {rel} ({e}); "
+                      "token fallback", file=sys.stderr)
+        file_findings, _allowed = token_scan_file(f, rel, det_scoped)
+        findings.extend(file_findings)
+
+    fps = assign_fingerprints(findings)
+
+    if args.update_baseline:
+        payload = {
+            "_comment": "goldfish-lint baseline: legacy findings that do "
+                        "not fail CI. Burn down by fixing + rerunning "
+                        "goldfish_lint.py --update-baseline; new findings "
+                        "always fail. See docs/static-analysis.md.",
+            "version": 1,
+            "findings": [
+                {"fingerprint": fp, "rule": f.rule, "file": f.path,
+                 "line": f.line, "snippet": f.normalized()}
+                for fp, f in sorted(fps.items(),
+                                    key=lambda kv: kv[1].sort_key())],
+        }
+        os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
+        with open(baseline_path, "w") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"goldfish-lint: baseline updated with {len(fps)} finding(s) "
+              f"-> {os.path.relpath(baseline_path, repo_root)}")
+        return 0
+
+    baseline_fps = set()
+    if not args.no_baseline and os.path.exists(baseline_path):
+        try:
+            data = json.load(open(baseline_path))
+            baseline_fps = {e["fingerprint"]
+                            for e in data.get("findings", [])}
+        except (OSError, ValueError, KeyError) as e:
+            print(f"goldfish-lint: unreadable baseline {baseline_path}: {e}",
+                  file=sys.stderr)
+            return 2
+
+    new, baselined = [], []
+    for fp, f in fps.items():
+        (baselined if fp in baseline_fps else new).append((fp, f))
+    stale = baseline_fps - set(fps.keys())
+
+    if args.json:
+        print(json.dumps({
+            "new": [{"fingerprint": fp, "rule": f.rule, "file": f.path,
+                     "line": f.line, "snippet": f.snippet,
+                     "message": RULES.get(f.rule, "")}
+                    for fp, f in sorted(new, key=lambda kv: kv[1].sort_key())],
+            "baselined": len(baselined),
+            "stale_baseline_entries": len(stale),
+        }, indent=1))
+    else:
+        for _fp, f in sorted(new, key=lambda kv: kv[1].sort_key()):
+            print(f"{f.path}:{f.line}: {f.rule}: "
+                  f"{RULES.get(f.rule, '')}")
+            if f.snippet:
+                print(f"    {f.snippet.strip()}")
+        if baselined:
+            print(f"goldfish-lint: {len(baselined)} baselined finding(s) "
+                  "(legacy debt; see the baseline file)")
+        if stale:
+            print(f"goldfish-lint: {len(stale)} stale baseline entr"
+                  f"{'y' if len(stale) == 1 else 'ies'} — fixed findings "
+                  "still listed; refresh with --update-baseline")
+        summary = (f"goldfish-lint: scanned {len(files)} file(s): "
+                   f"{len(new)} new finding(s)")
+        print(summary)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

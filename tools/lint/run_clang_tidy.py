@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Run the repo's curated clang-tidy profile (.clang-tidy) over the tree,
+gated by a fingerprint baseline — the same burn-down model as
+goldfish_lint.py.
+
+  python3 tools/lint/run_clang_tidy.py            # lint, fail on new findings
+  python3 tools/lint/run_clang_tidy.py --update-baseline
+  python3 tools/lint/run_clang_tidy.py --require  # CI: missing binary fails
+
+Files come from build/compile_commands.json (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON, the default here), filtered to in-tree
+sources — fetched third-party code (build/_deps) is never linted. Findings
+are fingerprinted as sha1(check|file|normalized-line)[:occurrence] so
+baseline entries survive unrelated line shifts; `--update-baseline` rewrites
+tools/lint/clang_tidy_baseline.json.
+
+Without a clang-tidy binary the script reports SKIPPED and exits 0 (the dev
+container ships gcc only); pass --require to turn that into a failure — CI
+does, after installing clang-tidy.
+
+Exit codes: 0 clean/skipped, 1 new findings, 2 infrastructure error.
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+IN_TREE = ("src/", "tests/", "bench/", "examples/")
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<sev>warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[^\]]+)\]\s*$")
+
+
+def find_clang_tidy(explicit=None):
+    candidates = [explicit] if explicit else []
+    candidates += ["clang-tidy"] + [f"clang-tidy-{v}"
+                                    for v in range(22, 11, -1)]
+    for c in candidates:
+        if c and shutil.which(c):
+            return shutil.which(c)
+    return None
+
+
+def tree_files(compdb_path, repo_root):
+    """In-tree translation units from compile_commands.json, deduped."""
+    try:
+        with open(compdb_path) as fh:
+            entries = json.load(fh)
+    except (OSError, ValueError) as e:
+        raise SystemExit(
+            f"run_clang_tidy: cannot read {compdb_path} ({e}); configure "
+            "with cmake -B build first") from e
+    files = set()
+    for e in entries:
+        path = os.path.realpath(
+            os.path.join(e.get("directory", "."), e["file"]))
+        rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
+        if rel.startswith(IN_TREE) and os.path.isfile(path):
+            files.add(path)
+    return sorted(files)
+
+
+def normalize(text):
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def parse_diagnostics(output, repo_root):
+    """[(check, relfile, line, message, source_line_text)] from one run."""
+    found = []
+    for raw in output.splitlines():
+        m = DIAG_RE.match(raw)
+        if not m:
+            continue
+        path = os.path.realpath(m.group("file"))
+        rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
+        if rel.startswith(".."):  # diagnostics from system headers
+            continue
+        found.append((m.group("check"), rel, int(m.group("line")),
+                      m.group("msg")))
+    return found
+
+
+def snippet(repo_root, rel, line):
+    try:
+        with open(os.path.join(repo_root, rel), encoding="utf-8",
+                  errors="replace") as fh:
+            lines = fh.read().splitlines()
+        return lines[line - 1] if 1 <= line <= len(lines) else ""
+    except OSError:
+        return ""
+
+
+def fingerprints(findings, repo_root):
+    """{fingerprint: finding}: sha1 of (check|file|normalized snippet) with
+    an occurrence counter, line-number independent."""
+    seen = {}
+    fps = {}
+    for f in sorted(findings, key=lambda f: (f[1], f[2], f[0])):
+        check, rel, line, _msg = f
+        base = f"{check}|{rel}|{normalize(snippet(repo_root, rel, line))}"
+        n = seen.get(base, 0)
+        seen[base] = n + 1
+        fp = hashlib.sha1(f"{base}|{n}".encode()).hexdigest()[:16]
+        fps[fp] = f
+    return fps
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--compdb", default=None)
+    ap.add_argument("--repo", default=None)
+    ap.add_argument("--clang-tidy", default=None, dest="binary")
+    ap.add_argument("--baseline", default=None)
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--require", action="store_true",
+                    help="fail (exit 2) when no clang-tidy binary exists")
+    ap.add_argument("-j", "--jobs", type=int,
+                    default=min(8, os.cpu_count() or 1))
+    args = ap.parse_args(argv)
+
+    repo_root = os.path.realpath(
+        args.repo or os.path.join(os.path.dirname(
+            os.path.realpath(__file__)), "..", ".."))
+    compdb = args.compdb or os.path.join(repo_root, "build",
+                                         "compile_commands.json")
+    baseline_path = args.baseline or os.path.join(
+        repo_root, "tools", "lint", "clang_tidy_baseline.json")
+
+    binary = find_clang_tidy(args.binary)
+    if binary is None:
+        msg = "run_clang_tidy: no clang-tidy binary found"
+        if args.require:
+            print(msg + " (--require set)", file=sys.stderr)
+            return 2
+        print(msg + "; SKIPPED")
+        return 0
+
+    files = tree_files(compdb, repo_root)
+    if not files:
+        print("run_clang_tidy: no in-tree files in compile database",
+              file=sys.stderr)
+        return 2
+
+    build_dir = os.path.dirname(os.path.realpath(compdb))
+
+    def run_one(path):
+        proc = subprocess.run(
+            [binary, "-p", build_dir, "--quiet", path],
+            capture_output=True, text=True, cwd=repo_root)
+        return parse_diagnostics(proc.stdout, repo_root)
+
+    findings = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as ex:
+        for batch in ex.map(run_one, files):
+            findings.extend(batch)
+    # The same header diagnostic surfaces once per includer; one finding.
+    findings = sorted({f for f in findings})
+
+    fps = fingerprints(findings, repo_root)
+
+    if args.update_baseline:
+        payload = {
+            "_comment": "clang-tidy baseline: legacy findings that do not "
+                        "fail CI. Burn down by fixing + rerunning "
+                        "run_clang_tidy.py --update-baseline; new findings "
+                        "always fail. See docs/static-analysis.md.",
+            "version": 1,
+            "findings": [
+                {"fingerprint": fp, "check": f[0], "file": f[1],
+                 "line": f[2], "message": f[3]}
+                for fp, f in sorted(fps.items(),
+                                    key=lambda kv: (kv[1][1], kv[1][2]))],
+        }
+        with open(baseline_path, "w") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"run_clang_tidy: baseline updated with {len(fps)} finding(s)"
+              f" -> {os.path.relpath(baseline_path, repo_root)}")
+        return 0
+
+    known = set()
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as fh:
+            known = {e["fingerprint"]
+                     for e in json.load(fh).get("findings", [])}
+
+    new = {fp: f for fp, f in fps.items() if fp not in known}
+    stale = known - set(fps)
+    for fp, (check, rel, line, msg) in sorted(new.items(),
+                                              key=lambda kv: (kv[1][1],
+                                                              kv[1][2])):
+        print(f"{rel}:{line}: {msg} [{check}] ({fp})", file=sys.stderr)
+    print(f"run_clang_tidy: {len(files)} file(s), {len(fps)} finding(s), "
+          f"{len(new)} new, {len(fps) - len(new)} baselined"
+          + (f", {len(stale)} stale baseline entr(y/ies) — run "
+             "--update-baseline" if stale else ""))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

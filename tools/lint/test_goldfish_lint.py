@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for goldfish_lint.py.
+
+Each fixture under tools/lint/fixtures/ carries `// EXPECT: RULE[, RULE]`
+markers on the offending line (or `// EXPECT-NEXT: RULE` on the line above,
+for findings that land on comment lines, e.g. SUP001). The suite asserts the
+linter reports exactly the expected (file, line, rule) set — no misses, no
+extras — for the token engine always, and for the libclang engine when the
+bindings are available. Suppression semantics and the baseline round-trip
+(update → clean → new finding fails → stale entry reported) are covered with
+temp dirs, exercising the real CLI.
+
+Run directly (python3 tools/lint/test_goldfish_lint.py) or via ctest
+(registered as lint_fixtures in tests/CMakeLists.txt) or the CI lint job.
+"""
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.realpath(__file__))
+REPO = os.path.realpath(os.path.join(HERE, "..", ".."))
+LINT = os.path.join(HERE, "goldfish_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+sys.path.insert(0, HERE)
+import goldfish_lint  # noqa: E402
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([A-Z0-9, ]+)")
+EXPECT_NEXT_RE = re.compile(r"//\s*EXPECT-NEXT:\s*([A-Z0-9, ]+)")
+
+
+def expected_findings(fixture_dir):
+    """{(relpath, line, rule)} parsed from EXPECT / EXPECT-NEXT markers."""
+    expected = set()
+    for fn in sorted(os.listdir(fixture_dir)):
+        if not fn.endswith(".cpp"):
+            continue
+        with open(os.path.join(fixture_dir, fn)) as fh:
+            lines = fh.read().splitlines()
+        for idx, line in enumerate(lines):
+            m = EXPECT_RE.search(line)
+            if m:
+                for rule in m.group(1).split(","):
+                    expected.add((fn, idx + 1, rule.strip()))
+            m = EXPECT_NEXT_RE.search(line)
+            if m:
+                for rule in m.group(1).split(","):
+                    expected.add((fn, idx + 2, rule.strip()))
+    return expected
+
+
+def run_lint(args, cwd=None):
+    proc = subprocess.run(
+        [sys.executable, LINT] + args,
+        capture_output=True, text=True, cwd=cwd or REPO)
+    return proc
+
+
+def reported(proc):
+    data = json.loads(proc.stdout)
+    return {(f["file"], f["line"], f["rule"]) for f in data["new"]}
+
+
+class FixtureTests(unittest.TestCase):
+    """The diagnostics themselves: each rule fires where pinned, nowhere
+    else."""
+
+    def run_engine(self, engine):
+        proc = run_lint(["--engine", engine, "--no-baseline", "--json",
+                         "--repo", FIXTURES, "--det-scope", ".", "--",
+                         FIXTURES])
+        self.assertIn(proc.returncode, (0, 1), proc.stderr)
+        return reported(proc), proc
+
+    def check_engine(self, engine):
+        got, proc = self.run_engine(engine)
+        expected = expected_findings(FIXTURES)
+        missing = expected - got
+        extra = got - expected
+        self.assertFalse(
+            missing or extra,
+            f"[{engine}] missing: {sorted(missing)}\n"
+            f"extra: {sorted(extra)}\nstderr: {proc.stderr}")
+        self.assertEqual(proc.returncode, 1)  # findings => exit 1
+
+    def test_token_engine_matches_fixtures(self):
+        self.check_engine("token")
+
+    @unittest.skipUnless(goldfish_lint.load_libclang() is not None,
+                         "libclang python bindings not available")
+    def test_clang_engine_matches_fixtures(self):
+        self.check_engine("clang")
+
+    def test_unordered_aggregation_loop_is_flagged(self):
+        """The headline case: an unordered_map-fed aggregation loop whose FP
+        sum order leaks into StepResult must raise DET003."""
+        got, _ = self.run_engine("token")
+        self.assertIn(("det_unordered_aggregation.cpp", 21, "DET003"), got)
+
+    def test_rules_have_catalog_entries(self):
+        for _file, _line, rule in expected_findings(FIXTURES):
+            self.assertIn(rule, goldfish_lint.RULES)
+
+
+class SuppressionTests(unittest.TestCase):
+    def lint_source(self, source):
+        with tempfile.TemporaryDirectory() as td:
+            path = os.path.join(td, "case.cpp")
+            with open(path, "w") as fh:
+                fh.write(source)
+            proc = run_lint(["--engine", "token", "--no-baseline", "--json",
+                             "--repo", td, "--det-scope", ".", "--", path])
+            return reported(proc)
+
+    def test_same_line_allow(self):
+        got = self.lint_source(
+            "long f() { return time(nullptr); }"
+            "  // goldfish-lint: allow(DET002) replay harness boundary\n")
+        self.assertEqual(got, set())
+
+    def test_standalone_allow_covers_next_code_line(self):
+        got = self.lint_source(
+            "// goldfish-lint: allow(DET002) replay harness boundary\n"
+            "// (continuation comment between allow and code is fine)\n"
+            "long f() { return time(nullptr); }\n")
+        self.assertEqual(got, set())
+
+    def test_allow_is_rule_specific(self):
+        got = self.lint_source(
+            "// goldfish-lint: allow(DET001) wrong rule for this line\n"
+            "long f() { return time(nullptr); }\n")
+        self.assertEqual({r for (_f, _l, r) in got}, {"DET002"})
+
+    def test_allow_without_reason_is_sup001_and_does_not_suppress(self):
+        got = self.lint_source(
+            "// goldfish-lint: allow(DET002)\n"
+            "long f() { return time(nullptr); }\n")
+        self.assertEqual({r for (_f, _l, r) in got}, {"SUP001", "DET002"})
+
+
+class BaselineTests(unittest.TestCase):
+    """Round-trip: baselined findings pass, new findings fail, fixed
+    findings surface as stale entries."""
+
+    def setUp(self):
+        self.td = tempfile.mkdtemp()
+        self.addCleanup(shutil.rmtree, self.td)
+        self.src = os.path.join(self.td, "legacy.cpp")
+        shutil.copy(os.path.join(FIXTURES, "det_wallclock.cpp"), self.src)
+        self.baseline = os.path.join(self.td, "baseline.json")
+
+    def lint(self, *extra):
+        return run_lint(["--engine", "token", "--repo", self.td,
+                         "--baseline", self.baseline, "--det-scope", ".",
+                         *extra, "--", self.src])
+
+    def test_roundtrip(self):
+        # 1. Without a baseline, the legacy findings fail the run.
+        proc = self.lint("--json")
+        self.assertEqual(proc.returncode, 1)
+        legacy = reported(proc)
+        self.assertTrue(legacy)
+
+        # 2. Burn them into the baseline: the run is now clean.
+        proc = self.lint("--update-baseline")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        with open(self.baseline) as fh:
+            entries = json.load(fh)["findings"]
+        self.assertEqual(len(entries), len(legacy))
+        proc = self.lint("--json")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        data = json.loads(proc.stdout)
+        self.assertEqual(data["new"], [])
+        self.assertEqual(data["baselined"], len(legacy))
+
+        # 3. A new violation fails — and only the new one is reported,
+        #    even though it shifts every legacy finding down a line.
+        with open(self.src) as fh:
+            body = fh.read()
+        with open(self.src, "w") as fh:
+            fh.write("#include <cstdlib>\n"
+                     "int fresh() { return std::rand(); }\n" + body)
+        proc = self.lint("--json")
+        self.assertEqual(proc.returncode, 1)
+        new = reported(proc)
+        self.assertEqual({(f, r) for (f, _l, r) in new},
+                         {("legacy.cpp", "DET001")})
+
+        # 4. Fixing everything leaves stale baseline entries: reported,
+        #    not fatal.
+        with open(self.src, "w") as fh:
+            fh.write("int clean() { return 0; }\n")
+        proc = self.lint("--json")
+        self.assertEqual(proc.returncode, 0)
+        data = json.loads(proc.stdout)
+        self.assertEqual(data["new"], [])
+        self.assertEqual(data["stale_baseline_entries"], len(legacy))
+
+        # 5. --update-baseline prunes the stale entries.
+        proc = self.lint("--update-baseline")
+        self.assertEqual(proc.returncode, 0)
+        with open(self.baseline) as fh:
+            self.assertEqual(json.load(fh)["findings"], [])
+
+
+class RepoGateTests(unittest.TestCase):
+    """The tree itself must be clean against the checked-in baseline — the
+    same invocation CI runs."""
+
+    def test_repo_is_clean(self):
+        proc = run_lint([])
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
