@@ -22,7 +22,12 @@ BASELINE_JSON (bench/baseline_ci.json, checked in) holds:
   * "counters_max": exact gates on reported benchmark counters, each
     {"bench": name, "counter": name, "max": v}. The zero-allocation round
     gate: bench_fl_round's allocs_per_round counter (FloatBuffer heap
-    allocations in one steady-state round) must stay at 0.
+    allocations in one steady-state round) must stay at 0. An optional
+    "max_times_counter": name makes the gate relative — the limit becomes
+    max * the named counter's value on the same bench. The population
+    memory gate uses this: resident_bytes <= 0.05 * cold_bytes pins the
+    cohort-proportional (not population-proportional) resident footprint
+    regardless of how the bench's dataset sizes evolve.
   * "counters_min": the same, but a floor — {"bench": name, "counter": name,
     "min": v} requires the counter to be >= v. The wire-policy gate uses
     this to pin "uploads report real, nonzero byte counts".
@@ -43,7 +48,8 @@ TOP_LEVEL_KEYS = {"tolerance", "gflops", "ratios", "counters_max",
 GATE_FIELDS = {
     "ratios": ({"fast": str, "slow": str, "min_ratio": numbers.Real},
                {"fast_scale": numbers.Real}),
-    "counters_max": ({"bench": str, "counter": str, "max": numbers.Real}, {}),
+    "counters_max": ({"bench": str, "counter": str, "max": numbers.Real},
+                     {"max_times_counter": str}),
     "counters_min": ({"bench": str, "counter": str, "min": numbers.Real}, {}),
 }
 
@@ -200,13 +206,25 @@ def main() -> int:
             failures.append(
                 f"counter {gate['bench']}.{gate['counter']}: missing")
             continue
+        relative_to = gate.get("max_times_counter")
+        against = f"{limit:g}"
+        if relative_to is not None:
+            base = bench.get(relative_to)
+            if base is None:
+                failures.append(
+                    f"counter {gate['bench']}.{relative_to}: missing "
+                    f"(referenced by a max_times_counter gate)")
+                continue
+            limit *= float(base)
+            against = (f"{limit:g} = {float(gate['max']):g} * "
+                       f"{relative_to} ({float(base):g})")
         ok = value <= limit
         print(f"{gate['bench']}.{gate['counter']}: {value:g}"
-              f" (need <= {limit:g}) {'ok' if ok else 'FAIL'}")
+              f" (need <= {against}) {'ok' if ok else 'FAIL'}")
         if not ok:
             failures.append(
                 f"{gate['bench']}.{gate['counter']} is {value:g}"
-                f" (need <= {limit:g})")
+                f" (need <= {against})")
 
     for gate in baseline.get("counters_min", []):
         bench = counters.get(gate["bench"])

@@ -9,6 +9,8 @@
 // across scales; see EXPERIMENTS.md.
 #pragma once
 
+#include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <set>
 #include <string>
@@ -27,6 +29,24 @@
 #include "nn/models.h"
 
 namespace goldfish::bench {
+
+/// Process peak resident set size (VmHWM) in bytes, read from
+/// /proc/self/status — the OS-level counterpart of the population store's
+/// own resident_bytes accounting. 0 where procfs is unavailable, so gates
+/// built on it must pair with the store counters rather than replace them.
+inline std::size_t process_peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr)
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  std::fclose(f);
+  return kb * 1024;
+}
 
 /// Where CSV outputs land (next to the binary's working directory).
 inline std::string csv_dir() {

@@ -30,7 +30,10 @@ def good_baseline():
         "ratios": [{"fast": "BM_Fast", "slow": "BM_Slow", "min_ratio": 2.0,
                     "fast_scale": 0.5, "_comment": "why"}],
         "counters_max": [{"bench": "BM_Round", "counter": "allocs",
-                          "max": 0}],
+                          "max": 0},
+                         {"bench": "BM_Round", "counter": "resident",
+                          "max": 0.5, "max_times_counter": "cold",
+                          "_comment": "limit = 0.5 * cold"}],
         "counters_min": [{"bench": "BM_Round", "counter": "bytes",
                           "min": 1}],
     }
@@ -68,6 +71,11 @@ class ValidateBaselineTests(unittest.TestCase):
         b = good_baseline()
         b["counters_max"][0]["max"] = "0"
         self.assert_error(b, "counters_max[0].max")
+
+    def test_max_times_counter_must_be_a_string(self):
+        b = good_baseline()
+        b["counters_max"][1]["max_times_counter"] = 2.0
+        self.assert_error(b, "counters_max[1].max_times_counter")
 
     def test_bool_is_not_a_number(self):
         b = good_baseline()
@@ -107,10 +115,10 @@ class CliTests(unittest.TestCase):
             json.dump(payload, fh)
         return path
 
-    def results(self, **items_per_second):
+    def results(self, resident=10.0, **items_per_second):
         return {"benchmarks": [
             {"name": name, "items_per_second": ips, "allocs": 0.0,
-             "bytes": 8.0}
+             "bytes": 8.0, "resident": resident, "cold": 100.0}
             for name, ips in items_per_second.items()]}
 
     def test_validate_only_checked_in_baseline(self):
@@ -144,6 +152,35 @@ class CliTests(unittest.TestCase):
             proc = self.run_script(slow, baseline)
             self.assertEqual(proc.returncode, 1)
             self.assertIn("BM_Fast", proc.stderr)
+
+    def test_relative_counter_gate(self):
+        with tempfile.TemporaryDirectory() as td:
+            baseline = self.write(td, "baseline.json", good_baseline())
+            names = {"BM_Gemm/256": 10e9, "BM_Fast": 100.0, "BM_Slow": 10.0,
+                     "BM_Round": 1.0}
+            # resident 10 <= 0.5 * cold (100) passes; 60 fails.
+            ok = self.write(td, "ok.json", self.results(resident=10.0,
+                                                        **names))
+            proc = self.run_script(ok, baseline)
+            self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+            fat = self.write(td, "fat.json", self.results(resident=60.0,
+                                                          **names))
+            proc = self.run_script(fat, baseline)
+            self.assertEqual(proc.returncode, 1)
+            self.assertIn("BM_Round.resident is 60", proc.stderr)
+
+    def test_relative_counter_gate_missing_reference(self):
+        b = good_baseline()
+        b["counters_max"][1]["max_times_counter"] = "nonexistent"
+        with tempfile.TemporaryDirectory() as td:
+            baseline = self.write(td, "baseline.json", b)
+            ok = self.write(td, "ok.json", self.results(
+                **{"BM_Gemm/256": 10e9, "BM_Fast": 100.0, "BM_Slow": 10.0,
+                   "BM_Round": 1.0}))
+            proc = self.run_script(ok, baseline)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("BM_Round.nonexistent", proc.stderr)
 
     def test_results_never_checked_against_broken_baseline(self):
         b = good_baseline()

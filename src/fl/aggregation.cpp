@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fl/population/hierarchical.h"
+
 #include "tensor/annotations.h"
 #include "tensor/check.h"
 
@@ -329,6 +331,12 @@ std::vector<Tensor> StalenessAggregator::aggregate(
 
 std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
                                             const RobustConfig& robust) {
+  // "hier+<base>": two-tier hierarchical reduction over the named base,
+  // edge width robust.hier_edge. Recurses so the prefix composes with any
+  // base the registry knows.
+  if (name.rfind("hier+", 0) == 0)
+    return std::make_unique<population::HierarchicalAggregator>(
+        make_aggregator(name.substr(5), robust), robust.hier_edge);
   if (name == "fedavg") return std::make_unique<FedAvgAggregator>();
   if (name == "uniform") return std::make_unique<UniformAggregator>();
   if (name == "adaptive") return std::make_unique<AdaptiveAggregator>();

@@ -43,6 +43,9 @@ struct RobustConfig {
   /// L2 clip threshold (> 0): each update is scaled by min(1, C/‖ω‖)
   /// before the mean, bounding any single client's pull on the aggregate.
   double clip_norm = 10.0;
+  /// Edge-aggregator cohort-chunk width for the hierarchical wrapper
+  /// ("hier+<base>" names, fl/population/hierarchical.h).
+  long hier_edge = 8;
 };
 
 /// Aggregation strategy interface. Weight-based strategies supply per-update
@@ -261,7 +264,10 @@ class StalenessAggregator final : public Aggregator {
 
 /// Build a strategy by name: "fedavg" | "uniform" | "adaptive" | "krum" |
 /// "multi-krum" | "trimmed-mean" | "median" | "norm-clip". The robust
-/// strategies read their knobs from `robust`.
+/// strategies read their knobs from `robust`. A "hier+" prefix wraps the
+/// named base in the two-tier hierarchical reducer
+/// (fl/population/hierarchical.h) with edge width `robust.hier_edge` —
+/// e.g. "hier+fedavg"; output is bit-identical to the flat base.
 std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
                                             const RobustConfig& robust = {});
 

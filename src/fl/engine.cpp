@@ -23,18 +23,25 @@ FlConfig validated(FlConfig cfg, std::size_t num_clients) {
   const auto fail = [](const std::string& msg) {
     throw std::invalid_argument("fl::FlConfig: " + msg);
   };
-  static const char* kAggregators[] = {"fedavg",       "uniform", "adaptive",
-                                       "krum",         "multi-krum",
-                                       "trimmed-mean", "median",  "norm-clip"};
-  if (std::find_if(std::begin(kAggregators), std::end(kAggregators),
-                   [&](const char* n) { return cfg.aggregator == n; }) ==
-      std::end(kAggregators))
-    fail("unknown aggregator '" + cfg.aggregator +
-         "' (expected fedavg | uniform | adaptive | krum | multi-krum | "
-         "trimmed-mean | median | norm-clip)");
   if (cfg.robust.krum_f < 0) fail("robust.krum_f must be >= 0");
   if (cfg.robust.krum_m < 1) fail("robust.krum_m must be >= 1");
-  if ((cfg.aggregator == "krum" || cfg.aggregator == "multi-krum") &&
+  if (cfg.robust.hier_edge < 1) fail("robust.hier_edge must be >= 1");
+  // The registry is the single source of truth for names (it grows:
+  // "hier+<base>" prefixes compose recursively), so probe it instead of
+  // mirroring a list here.
+  try {
+    make_aggregator(cfg.aggregator, cfg.robust);
+  } catch (const std::exception& e) {
+    fail("unknown aggregator '" + cfg.aggregator +
+         "' (expected fedavg | uniform | adaptive | krum | multi-krum | "
+         "trimmed-mean | median | norm-clip, optionally prefixed hier+): " +
+         e.what());
+  }
+  // The krum capacity checks apply to the base strategy under any number of
+  // hier+ wrappers (the wrapper delegates robust bases wholesale).
+  std::string base_name = cfg.aggregator;
+  while (base_name.rfind("hier+", 0) == 0) base_name = base_name.substr(5);
+  if ((base_name == "krum" || base_name == "multi-krum") &&
       cfg.robust.krum_f >= static_cast<long>(num_clients))
     fail("robust.krum_f (" + std::to_string(cfg.robust.krum_f) +
          ") must be below the client count (" + std::to_string(num_clients) +
@@ -201,6 +208,27 @@ Engine::Engine(nn::Model global, std::vector<data::Dataset> client_data,
   };
 }
 
+Engine::Engine(nn::Model global, population::Population pop,
+               data::Dataset server_test, FlConfig cfg)
+    : global_(std::move(global)),
+      replica_template_(global_),
+      pop_(std::make_unique<population::Population>(std::move(pop))),
+      active_(pop_->clients.num_clients(), true),
+      test_(std::move(server_test)),
+      cfg_(validated(std::move(cfg), pop_->clients.num_clients())),
+      sched_(&runtime::scheduler_for(cfg_.threads, owned_sched_)),
+      eval_(test_, cfg_.eval_batch) {
+  GOLDFISH_CHECK(pop_->clients.num_clients() > 0, "engine needs clients");
+  GOLDFISH_CHECK(!test_.empty(), "engine needs a server test set");
+  stackable_ = stackable_mlp();
+  update_fn_ = [this](std::size_t cid, nn::Model& model,
+                      const data::Dataset& ds, long round) {
+    TrainOptions opts = cfg_.local;
+    opts.seed = mix_seed(cfg_.seed, cid, static_cast<std::uint64_t>(round));
+    train_local(model, ds, opts);
+  };
+}
+
 Engine::ModelLease::ModelLease(Engine& eng) : eng_(eng) {
   {
     std::lock_guard<std::mutex> lock(eng_.pool_mu_);
@@ -236,11 +264,19 @@ void Engine::set_client_data(std::size_t c, data::Dataset ds) {
         "fl::Engine: set_client_data while a run is in flight would race a "
         "leased replica's training task; inject a DeletionEvent into the "
         "scenario instead");
-  GOLDFISH_CHECK(c < clients_.size(), "client id out of range");
+  GOLDFISH_CHECK(c < num_clients(), "client id out of range");
+  if (pop_) {
+    // Re-spill the cold record in place — the old payload is never decoded.
+    pop_->clients.replace(c, ds);
+    return;
+  }
   clients_[c] = std::move(ds);
 }
 
 const data::Dataset& Engine::client_data(std::size_t c) const {
+  GOLDFISH_CHECK(!pop_,
+                 "client_data() is resident-mode only; population engines "
+                 "keep clients cold (population()->clients)");
   GOLDFISH_CHECK(c < clients_.size(), "client id out of range");
   return clients_[c];
 }
@@ -339,7 +375,7 @@ void Engine::stacked_local_accuracy(const std::vector<ClientUpdate>& updates,
 
 void Engine::validate_scenario(const Scenario& s) const {
   GOLDFISH_CHECK(s.aggregations >= 0, "negative aggregation count");
-  const std::size_t total = clients_.size() + s.joins.size();
+  const std::size_t total = num_clients() + s.joins.size();
   std::vector<bool> has_deletion(total, false);
   for (const DeletionEvent& d : s.deletions) {
     GOLDFISH_CHECK(d.client < total, "deletion for unknown client");
@@ -379,7 +415,7 @@ void Engine::validate_scenario(const Scenario& s) const {
 
 Engine::Schedule Engine::build_schedule(const Scenario& s) const {
   Schedule plan;
-  const std::size_t n0 = clients_.size();
+  const std::size_t n0 = num_clients();
 
   // Per-client builder state; grows when clients join.
   std::vector<long> next_index(n0, 0);
@@ -527,9 +563,15 @@ Engine::Schedule Engine::build_schedule(const Scenario& s) const {
   // Every active client downloads version 0 and starts at t = 0 (subject to
   // the participation policy). A zero-aggregation horizon plans no tasks at
   // all, so it consumes no RNG rounds — only the timeline's durable effects
-  // apply.
-  if (s.aggregations > 0)
-    for (std::size_t c = 0; c < n0; ++c) maybe_start(c, 0.0);
+  // apply. A cohort-enumerating policy visits only version 0's cohort —
+  // scheduling work per version stays O(cohort) even with 10^5+ registered
+  // clients (the population-scale contract, docs/population.md).
+  if (s.aggregations > 0) {
+    if (who.enumerates_cohort())
+      for (std::size_t c : who.cohort(0, n0)) maybe_start(c, 0.0);
+    else
+      for (std::size_t c = 0; c < n0; ++c) maybe_start(c, 0.0);
+  }
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
   while (static_cast<long>(plan.aggs.size()) < s.aggregations) {
@@ -625,11 +667,22 @@ Engine::Schedule Engine::build_schedule(const Scenario& s) const {
     }
     if (static_cast<long>(plan.aggs.size()) == s.aggregations) break;
     // Every completed client re-downloads the current model and trains on;
-    // a version bump also re-checks clients the policy had parked.
+    // a version bump also re-checks clients the policy had parked. An
+    // enumerating policy pins the new version's cohort first (so the
+    // completed clients' membership probes answer against it) and the
+    // rescan then visits cohort members only — never the whole population.
+    if (version_advanced && who.enumerates_cohort())
+      who.cohort(server_version, next_index.size());
     for (std::size_t id : batch) maybe_start(plan.tasks[id].client, now);
-    if (version_advanced)
-      for (std::size_t c = 0; c < next_index.size(); ++c)
-        if (parked[c]) maybe_start(c, now);
+    if (version_advanced) {
+      if (who.enumerates_cohort()) {
+        for (std::size_t c : who.cohort(server_version, next_index.size()))
+          maybe_start(c, now);
+      } else {
+        for (std::size_t c = 0; c < next_index.size(); ++c)
+          if (parked[c]) maybe_start(c, now);
+      }
+    }
   }
   // Events beyond the run's horizon still take durable effect before the
   // run returns (there is no later virtual time to wait for).
@@ -663,13 +716,32 @@ Engine::EpochTable Engine::materialize_epochs(const Scenario& s,
   EpochTable t;
   t.epochs.resize(plan.total_clients);
   t.final_owned.assign(plan.total_clients, -1);
+  const std::size_t n0 = num_clients();
   // Epoch 0: pre-run data for existing clients, the join payload for joined
   // ones (ids are assigned in join-application order).
-  for (std::size_t c = 0; c < clients_.size(); ++c)
-    t.epochs[c].push_back(&clients_[c]);
+  if (pop_) {
+    // Population mode: decode a client's cold record only if the run
+    // actually reads its data — a consumed training task, or a flip /
+    // backdoor derivation (which transforms the current data). A client
+    // whose only event is a deletion stays cold: its epoch-0 entry is a
+    // never-dereferenced placeholder, and the commit path re-spills the
+    // record without reading it (the eviction-without-materialization
+    // contract, pinned by ClientStateStore::materializations()).
+    std::vector<bool> needs(n0, false);
+    for (const Schedule::Task& tp : plan.tasks)
+      if (tp.consumed_by >= 0 && tp.client < n0) needs[tp.client] = true;
+    for (const LabelFlipEvent& f : s.label_flips)
+      if (f.client < n0) needs[f.client] = true;
+    for (const BackdoorInjectEvent& b : s.backdoors)
+      if (b.client < n0) needs[b.client] = true;
+    for (std::size_t c = 0; c < n0; ++c)
+      t.epochs[c].push_back(needs[c] ? &pop_->clients.materialize(c)
+                                     : nullptr);
+  } else {
+    for (std::size_t c = 0; c < n0; ++c) t.epochs[c].push_back(&clients_[c]);
+  }
   for (std::size_t p = 0; p < plan.join_order.size(); ++p)
-    t.epochs[clients_.size() + p].push_back(
-        &s.joins[plan.join_order[p]].dataset);
+    t.epochs[n0 + p].push_back(&s.joins[plan.join_order[p]].dataset);
 
   // Replay the data-mutating events in the exact merged order Phase A
   // applied them, so epoch numbers line up with the schedule's counters —
@@ -828,6 +900,16 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
   };
 
   version_params[0] = global_.snapshot();
+  // Population mode: every broadcast version is interned into the
+  // content-addressed snapshot store at publish time — identical replicas
+  // dedupe to one refcounted buffer. The handles pin the versions for the
+  // duration of the run; run() transfers pins to the clients that
+  // downloaded them and releases the rest.
+  if (pop_) {
+    run_version_handles_.assign(static_cast<std::size_t>(aggregations) + 1,
+                                population::SnapshotStore::Handle{});
+    run_version_handles_[0] = pop_->snapshots.intern(version_params[0]);
+  }
   submit_version(0);
 
   try {
@@ -866,6 +948,10 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
       std::vector<Tensor> merged = agg.aggregate(updates);
       global_.load(merged);
       version_params[static_cast<std::size_t>(a) + 1] = std::move(merged);
+      if (pop_)
+        run_version_handles_[static_cast<std::size_t>(a) + 1] =
+            pop_->snapshots.intern(
+                version_params[static_cast<std::size_t>(a) + 1]);
       submit_version(static_cast<std::size_t>(a) + 1);
 
       r.step = a;
@@ -920,8 +1006,17 @@ void Engine::execute(const Scenario& scenario, const Schedule& plan,
         } catch (...) {
         }
       }
+    if (pop_) {
+      // The aborted run commits nothing: drop the version pins and free the
+      // cohort slots so the stores are consistent for the next run.
+      for (const population::SnapshotStore::Handle& h : run_version_handles_)
+        pop_->snapshots.release(h);
+      run_version_handles_.clear();
+      pop_->clients.release_all();
+    }
     throw;
   }
+  if (pop_) run_wire_bytes_ = std::move(wire_bytes);
 }
 
 void Engine::run(Scenario scenario, const StepSink& sink) {
@@ -972,6 +1067,58 @@ void Engine::run(Scenario scenario, const StepSink& sink) {
   // consume more task indices than there were aggregations, so the
   // aggregation count alone would under-advance.
   round_ += plan.rounds_consumed;
+  if (pop_) {
+    population::ClientStateStore& store = pop_->clients;
+    for (std::size_t ji : plan.join_order) {
+      store.add(scenario.joins[ji].dataset);
+      active_.push_back(true);
+    }
+    // Durable telemetry and reference snapshots, from the executed plan. A
+    // client's reference points at the newest version it downloaded — the
+    // base DeltaWire's needs_reference() path would diff against — and the
+    // set_reference acquire keeps that version's deduped buffer alive.
+    std::vector<long> newest(plan.total_clients, -1);
+    for (std::size_t id = 0; id < plan.tasks.size(); ++id) {
+      const Schedule::Task& tp = plan.tasks[id];
+      store.bump_tasks_started(tp.client, 1);
+      newest[tp.client] = std::max(newest[tp.client], tp.from_version);
+      if (tp.consumed_by >= 0) {
+        store.bump_updates_aggregated(tp.client, 1);
+        store.bump_bytes_uplinked(tp.client, run_wire_bytes_[id]);
+      }
+    }
+    for (std::size_t c = 0; c < plan.total_clients; ++c)
+      if (newest[c] >= 0) {
+        store.set_last_version(c, newest[c]);
+        pop_->set_reference(
+            c, run_version_handles_[static_cast<std::size_t>(newest[c])]);
+      }
+    // Deletions re-spill the cold record in place (the old payload is never
+    // decoded) and drop the client's snapshot reference, so a departed
+    // replica's refcount can reach zero. Order matches resident mode:
+    // deletion payloads commit before the derived flip/backdoor data (and
+    // materialize_epochs clears final_owned when a deletion came last).
+    for (const DeletionEvent& d : scenario.deletions) {
+      store.replace(d.client, d.new_data);
+      pop_->drop_reference(d.client);
+    }
+    for (std::size_t c = 0; c < epochs.final_owned.size(); ++c)
+      if (epochs.final_owned[c] >= 0)
+        store.replace(
+            c,
+            *epochs.owned[static_cast<std::size_t>(epochs.final_owned[c])]);
+    for (const ClientLeaveEvent& l : scenario.leaves)
+      active_[l.client] = false;
+    // End of run: drop the run's own version pins (a version no client
+    // references evaporates from the store) and return every materialized
+    // cohort slot — steady-state resident memory goes back to zero.
+    for (const population::SnapshotStore::Handle& h : run_version_handles_)
+      pop_->snapshots.release(h);
+    run_version_handles_.clear();
+    run_wire_bytes_.clear();
+    store.release_all();
+    return;
+  }
   for (std::size_t ji : plan.join_order) {
     clients_.push_back(std::move(scenario.joins[ji].dataset));
     active_.push_back(true);

@@ -35,6 +35,7 @@
 #include "data/backdoor.h"
 #include "fl/aggregation.h"
 #include "fl/policies.h"
+#include "fl/population/population.h"
 #include "fl/trainer.h"
 #include "metrics/evaluation.h"
 #include "runtime/scheduler.h"
@@ -62,7 +63,9 @@ struct AsyncFlConfig {
 struct FlConfig {
   TrainOptions local;                ///< per-round local training options
   /// "fedavg" | "uniform" | "adaptive" | "krum" | "multi-krum" |
-  /// "trimmed-mean" | "median" | "norm-clip"
+  /// "trimmed-mean" | "median" | "norm-clip" — optionally prefixed "hier+"
+  /// for two-tier hierarchical reduction (e.g. "hier+fedavg"; edge width
+  /// from robust.hier_edge, output bit-identical to the flat base).
   std::string aggregator = "fedavg";
   /// Knobs for the Byzantine-robust strategies (configured or hot-swapped);
   /// inert for the weight-based ones.
@@ -282,6 +285,16 @@ class Engine {
   Engine(nn::Model global, std::vector<data::Dataset> client_data,
          data::Dataset server_test, FlConfig cfg);
 
+  /// Population-scale construction: the federation lives in a
+  /// population::Population (cold client-state store + content-addressed
+  /// snapshot store, fl/population/) instead of resident datasets. Clients
+  /// are materialized into pooled slots only while they participate, so a
+  /// run's resident memory is O(cohort), not O(registered clients) — see
+  /// docs/population.md. Semantics are otherwise identical: the same
+  /// Scenarios run, and the same data produces bit-identical StepResults.
+  Engine(nn::Model global, population::Population pop,
+         data::Dataset server_test, FlConfig cfg);
+
   /// Replace the default (plain LocalTraining) client update. Rejected
   /// while a run is in flight.
   void set_client_update(ClientUpdateFn fn);
@@ -311,9 +324,16 @@ class Engine {
 
   nn::Model& global_model() { return global_; }
   const data::Dataset& server_test() const { return test_; }
+  /// Resident-mode dataset access; throws in population mode (cold records
+  /// are reached through population()->clients instead).
   const data::Dataset& client_data(std::size_t c) const;
+  /// The population stores, or null for a resident-mode engine.
+  population::Population* population() { return pop_.get(); }
+  const population::Population* population() const { return pop_.get(); }
   /// Registered clients, inactive (departed) ones included.
-  std::size_t num_clients() const { return clients_.size(); }
+  std::size_t num_clients() const {
+    return pop_ ? pop_->clients.num_clients() : clients_.size();
+  }
   /// Clients currently participating in new runs (joins − leaves).
   std::size_t active_clients() const;
   /// True while a run is in flight (mutating accessors are rejected).
@@ -382,7 +402,12 @@ class Engine {
   /// thread never races the main thread's writes to global_ — which the
   /// aggregation loop performs while client tasks are still in flight.
   nn::Model replica_template_;
-  std::vector<data::Dataset> clients_;
+  std::vector<data::Dataset> clients_;  ///< resident mode; empty when pop_
+  /// Population mode: the cold client-state + snapshot stores. Null for the
+  /// resident-mode constructor — every population branch in the engine is
+  /// behind `if (pop_)`, so resident-mode behaviour (and its golden
+  /// schedules) is untouched byte for byte.
+  std::unique_ptr<population::Population> pop_;
   std::vector<bool> active_;  ///< false once a ClientLeaveEvent committed
   data::Dataset test_;
   FlConfig cfg_;
@@ -400,6 +425,12 @@ class Engine {
   // Stacked-evaluation scratch, reused across rounds.
   Tensor stacked_w_, stacked_b_, stacked_y_;
   bool stackable_ = false;  // computed once: the architecture never changes
+
+  // Population-mode run scratch: filled by execute(), committed (telemetry,
+  // reference snapshots) and cleared by run(). Index = server version /
+  // plan task id respectively.
+  std::vector<population::SnapshotStore::Handle> run_version_handles_;
+  std::vector<std::size_t> run_wire_bytes_;
 };
 
 }  // namespace goldfish::fl

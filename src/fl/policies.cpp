@@ -1,7 +1,9 @@
 #include "fl/policies.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
 
 #include "tensor/check.h"
 #include "tensor/serialize.h"
@@ -23,7 +25,17 @@ constexpr std::uint64_t kDurationSalt = 0x517CC1B727220A95ull;
 /// Salt of the per-client link-bandwidth draws (BandwidthClock).
 constexpr std::uint64_t kBandwidthSalt = 0xD6E8FEB86659FD93ull;
 
+/// Salt of the per-version cohort draws (CohortParticipation).
+constexpr std::uint64_t kCohortSalt = 0x9E3779B97F4A7C15ull;
+
 }  // namespace
+
+const std::vector<std::size_t>& ParticipationPolicy::cohort(long,
+                                                            std::size_t) {
+  throw std::logic_error("fl::ParticipationPolicy: '" + name() +
+                         "' does not enumerate cohorts (check "
+                         "enumerates_cohort() first)");
+}
 
 SampledParticipation::SampledParticipation(double fraction,
                                            std::uint64_t seed)
@@ -65,6 +77,44 @@ double AvailabilityWindows::retry_at(std::size_t client, long, double time) {
   const double local = time + double(client) * phase_;
   const double window_start = std::floor(local / period_) * period_;
   return window_start + period_ + 0.5 * on_ - double(client) * phase_;
+}
+
+CohortParticipation::CohortParticipation(std::size_t cohort_size,
+                                         std::uint64_t seed)
+    : cohort_size_(cohort_size), seed_(seed) {
+  GOLDFISH_CHECK(cohort_size >= 1, "cohort size must be >= 1");
+}
+
+const std::vector<std::size_t>& CohortParticipation::cohort(
+    long version, std::size_t num_clients) {
+  GOLDFISH_CHECK(num_clients > 0, "cohort over an empty federation");
+  if (version == cached_version_ && num_clients == cached_n_) return cohort_;
+  const std::size_t m = std::min(cohort_size_, num_clients);
+  cohort_.clear();
+  // Rejection-sample m DISTINCT ids from the (seed ⊕ salt, version, draw)
+  // stream. Every redraw advances `draw`, so the sequence is a pure
+  // function of (seed, version, num_clients) — no time, no call order.
+  std::uint64_t draw = 0;
+  while (cohort_.size() < m) {
+    Rng rng(mix_seed(seed_ ^ kCohortSalt,
+                     static_cast<std::uint64_t>(version), draw++));
+    const std::size_t c = rng.uniform_index(num_clients);
+    const auto it = std::lower_bound(cohort_.begin(), cohort_.end(), c);
+    if (it != cohort_.end() && *it == c) continue;  // duplicate: redraw
+    cohort_.insert(it, c);
+  }
+  cached_version_ = version;
+  cached_n_ = num_clients;
+  return cohort_;
+}
+
+bool CohortParticipation::participates(std::size_t client, long version,
+                                       double) {
+  // The schedule builder always enumerates cohort() for a version before
+  // probing membership, so the cache answers for the right client count.
+  GOLDFISH_CHECK(version == cached_version_,
+                 "CohortParticipation::participates before cohort()");
+  return std::binary_search(cohort_.begin(), cohort_.end(), client);
 }
 
 AdaptiveBuffer::AdaptiveBuffer(long initial, long min_size, long max_size,

@@ -51,6 +51,20 @@ class ParticipationPolicy {
     return -1.0;
   }
 
+  /// Population-scale seam: a policy that can ENUMERATE each version's
+  /// cohort lets the Engine visit only cohort members (O(cohort) per
+  /// version) instead of asking participates() for every registered client
+  /// (O(population)). Policies answering true here must keep cohort() and
+  /// participates() consistent: participates(c, v, t) == (c ∈ cohort(v, n)),
+  /// independent of time.
+  virtual bool enumerates_cohort() const { return false; }
+
+  /// The ascending client-id cohort for server `version` out of
+  /// `num_clients` registered clients. Only meaningful when
+  /// enumerates_cohort(); the default throws.
+  virtual const std::vector<std::size_t>& cohort(long version,
+                                                std::size_t num_clients);
+
   virtual std::string name() const = 0;
 };
 
@@ -102,6 +116,34 @@ class AvailabilityWindows final : public ParticipationPolicy {
   double period_;
   double on_;  // on_fraction · period
   double phase_;
+};
+
+/// Fixed-size seeded cohorts, enumerable without touching non-members: each
+/// server version v gets exactly min(cohort_size, n) distinct clients,
+/// rejection-sampled from the collision-free mix_seed(seed ⊕ salt, v, draw)
+/// stream and kept sorted. This is the population-scale counterpart of
+/// SampledParticipation — participates() is a binary search over the
+/// version's cohort, and the Engine's schedule builder iterates cohort()
+/// directly so scheduling work per version is O(cohort · log cohort), never
+/// O(population). Joins become samplable at the next version bump (the
+/// cohort for a version is pinned when first drawn, against the client
+/// count at that moment).
+class CohortParticipation final : public ParticipationPolicy {
+ public:
+  CohortParticipation(std::size_t cohort_size, std::uint64_t seed);
+
+  bool participates(std::size_t client, long version, double time) override;
+  bool enumerates_cohort() const override { return true; }
+  const std::vector<std::size_t>& cohort(long version,
+                                         std::size_t num_clients) override;
+  std::string name() const override { return "cohort"; }
+
+ private:
+  std::size_t cohort_size_;
+  std::uint64_t seed_;
+  long cached_version_ = -1;
+  std::size_t cached_n_ = 0;
+  std::vector<std::size_t> cohort_;  // ascending client ids
 };
 
 /// Decides the buffer size K for each aggregation. Called once per

@@ -1,0 +1,95 @@
+#include "fl/population/hierarchical.h"
+
+#include <algorithm>
+
+#include "nn/model.h"
+#include "tensor/annotations.h"
+#include "tensor/check.h"
+
+namespace goldfish::fl::population {
+
+namespace {
+
+/// One edge aggregator: fold updates [lo, hi) into the chained accumulator
+/// `acc`, using normalized weights w[s]/total. Edge 0 initializes the
+/// accumulator from update 0 with the exact FP ops nn::weighted_average
+/// uses for its first snapshot (dst[i] = src[i]·w0), so the whole chain of
+/// edges replays the flat left fold bit for bit.
+GOLDFISH_HOT void fold_edge(std::vector<Tensor>& acc,
+                            const std::vector<ClientUpdate>& updates,
+                            const std::vector<float>& w, float total,
+                            std::size_t lo, std::size_t hi) {
+  for (std::size_t s = lo; s < hi; ++s) {
+    const float ws = w[s] / total;
+    if (s == 0) {
+      const std::vector<Tensor>& first = updates[0].params;
+      // goldfish-lint: allow(ALLOC002) accumulator header vector sized once
+      // per aggregate; element FloatBuffers come from the round's pool
+      acc.reserve(first.size());
+      for (const Tensor& t : first) {
+        Tensor a = Tensor::uninit(t.shape());
+        const float* src = t.data();
+        float* dst = a.data();
+        for (std::size_t i = 0; i < t.numel(); ++i) dst[i] = src[i] * ws;
+        // goldfish-lint: allow(ALLOC002) within the capacity reserved above
+        acc.push_back(std::move(a));
+      }
+    } else {
+      GOLDFISH_CHECK(updates[s].params.size() == acc.size(),
+                     "snapshot layout mismatch");
+      nn::axpy(acc, updates[s].params, ws);
+    }
+  }
+}
+
+}  // namespace
+
+HierarchicalAggregator::HierarchicalAggregator(
+    std::unique_ptr<Aggregator> base, long edge_size)
+    : base_(std::move(base)), edge_size_(edge_size) {
+  GOLDFISH_CHECK(base_ != nullptr, "hierarchical aggregator needs a base");
+  GOLDFISH_CHECK(edge_size_ >= 1, "edge size must be >= 1");
+}
+
+std::vector<float> HierarchicalAggregator::weights(
+    const std::vector<ClientUpdate>& updates) const {
+  return base_->weights(updates);
+}
+
+GOLDFISH_HOT std::vector<Tensor> HierarchicalAggregator::aggregate(
+    const std::vector<ClientUpdate>& updates,
+    const std::vector<float>* multipliers) const {
+  GOLDFISH_CHECK(!updates.empty(), "no updates to aggregate");
+  GOLDFISH_CHECK(!multipliers || multipliers->size() == updates.size(),
+                 "multiplier count mismatch");
+
+  // Robust bases select/trim over the whole update set; there is no
+  // per-edge decomposition (a median of medians is not the median). The
+  // root delegates wholesale — see the header comment.
+  if (base_->capabilities().robust)
+    return base_->aggregate(updates, multipliers);
+
+  std::vector<float> w = base_->weights(updates);
+  if (multipliers)
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] *= (*multipliers)[i];
+
+  // Global weight total, summed in flat arrival order — the same FP
+  // sequence (and the same checks) as nn::weighted_average.
+  float total = 0.0f;
+  for (float wi : w) {
+    GOLDFISH_CHECK(wi >= 0.0f, "negative aggregation weight");
+    total += wi;
+  }
+  GOLDFISH_CHECK(total > 0.0f, "aggregation weights sum to zero");
+
+  const std::size_t n = updates.size();
+  const std::size_t edge = static_cast<std::size_t>(edge_size_);
+  std::vector<Tensor> acc;
+  for (std::size_t lo = 0; lo < n; lo += edge) {
+    fold_edge(acc, updates, w, total, lo, std::min(n, lo + edge));
+    ++edge_reductions_;
+  }
+  return acc;
+}
+
+}  // namespace goldfish::fl::population

@@ -1,0 +1,62 @@
+// Two-tier hierarchical aggregation (docs/population.md §tree-reduction).
+//
+// Edge aggregators reduce fixed-size cohort chunks; the root reduces the
+// edge partials. The reduction tree is deliberately LEFT-DEEP, not
+// balanced: float addition is non-associative, so a balanced tree of edge
+// partials ((u0+u1)+(u2+u3)) cannot be bitwise-identical to the engine's
+// flat left fold (((u0+u1)+u2)+u3. Instead each edge *streams* its chunk
+// into the running accumulator handed down from the previous edge —
+// exactly the FP op sequence of nn::weighted_average over the flat update
+// list, in arrival order, with the global weight total computed up front in
+// flat order. Hierarchical output is therefore bit-identical to flat
+// aggregation at any thread count and any edge size
+// (tests/population_test.cpp memcmps it across 1/2/8 threads).
+//
+// What the tiers buy, then, is not a different answer but a different
+// working set: an edge only ever needs its `edge_size` client uploads plus
+// the one chained accumulator resident — the population-scale engine
+// retires each cohort chunk's buffers before the next edge runs.
+//
+// Robust bases (krum, trimmed-mean, median, norm-clip) are order
+// statistics / selection over the WHOLE update set — they do not decompose
+// into per-edge partials at all (the coordinate-wise median of medians is
+// not the median). For those the root delegates wholesale to
+// base->aggregate(), which is both the only correct reduction and still
+// bitwise-identical to flat by construction.
+#pragma once
+
+#include <memory>
+
+#include "fl/aggregation.h"
+
+namespace goldfish::fl::population {
+
+class HierarchicalAggregator final : public Aggregator {
+ public:
+  using Aggregator::aggregate;
+  /// `base` supplies the weights (or, if robust, the whole reduction);
+  /// `edge_size` ≥ 1 is the cohort-chunk width of one edge aggregator.
+  HierarchicalAggregator(std::unique_ptr<Aggregator> base, long edge_size);
+
+  Capabilities capabilities() const override { return base_->capabilities(); }
+  std::vector<float> weights(
+      const std::vector<ClientUpdate>& updates) const override;
+  std::vector<Tensor> aggregate(
+      const std::vector<ClientUpdate>& updates,
+      const std::vector<float>* multipliers) const override;
+  std::string name() const override { return "hier+" + base_->name(); }
+
+  long edge_size() const { return edge_size_; }
+  const Aggregator& base() const { return *base_; }
+
+  /// Edge reductions performed over this aggregator's lifetime (exposed so
+  /// tests can pin that the tiering actually ran).
+  std::size_t edge_reductions() const { return edge_reductions_; }
+
+ private:
+  std::unique_ptr<Aggregator> base_;
+  long edge_size_;
+  mutable std::size_t edge_reductions_ = 0;
+};
+
+}  // namespace goldfish::fl::population

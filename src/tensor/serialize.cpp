@@ -123,16 +123,40 @@ GOLDFISH_HOT void serialize_tensors(const std::vector<Tensor>& ts,
   // whose capacity is monotonic — steady-state rounds reuse it, alloc-free
   out.reserve(total);
   append(out, static_cast<std::uint32_t>(ts.size()));
-  for (const Tensor& t : ts) {
-    append(out, kMagic);
-    append(out, static_cast<std::uint32_t>(t.rank()));
-    for (std::size_t i = 0; i < t.rank(); ++i)
-      append(out, static_cast<std::int64_t>(t.dim(i)));
-    if (t.numel() != 0)
-      // goldfish-lint: allow(ALLOC002) within the capacity reserved above
-      out.append(reinterpret_cast<const char*>(t.data()),
-                 t.numel() * sizeof(float));
+  for (const Tensor& t : ts) append_tensor_record(out, t);
+}
+
+GOLDFISH_HOT void append_tensor_record(std::string& out, const Tensor& t) {
+  append(out, kMagic);
+  append(out, static_cast<std::uint32_t>(t.rank()));
+  for (std::size_t i = 0; i < t.rank(); ++i)
+    append(out, static_cast<std::int64_t>(t.dim(i)));
+  if (t.numel() != 0)
+    // goldfish-lint: allow(ALLOC002) appends into a caller-owned record
+    // buffer whose capacity is monotonic — steady-state spills reuse it
+    out.append(reinterpret_cast<const char*>(t.data()),
+               t.numel() * sizeof(float));
+}
+
+GOLDFISH_HOT void read_tensor_record_into(const char* data, std::size_t size,
+                                          std::size_t* offset, Tensor& t) {
+  GOLDFISH_CHECK(offset != nullptr && *offset <= size, "bad record offset");
+  ByteReader r{data + *offset, size - *offset};
+  GOLDFISH_CHECK(r.take<std::uint32_t>() == kMagic, "bad tensor magic");
+  const std::uint32_t rank = r.take<std::uint32_t>();
+  GOLDFISH_CHECK(rank <= 8, "implausible tensor rank");
+  Shape shape(rank);
+  for (std::uint32_t d = 0; d < rank; ++d) {
+    shape[d] = static_cast<long>(r.take<std::int64_t>());
+    GOLDFISH_CHECK(shape[d] >= 0 && shape[d] < (1L << 32), "bad dim");
   }
+  // In-place landing: a no-op when the destination already holds this shape
+  // (the cold store's pooled slots), a pool-recycled growth otherwise.
+  t.resize_uninit(shape);
+  const std::size_t payload = t.numel() * sizeof(float);
+  GOLDFISH_CHECK(r.left >= payload, "truncated tensor payload");
+  if (payload != 0) std::memcpy(t.data(), r.p, payload);
+  *offset = size - (r.left - payload);
 }
 
 std::vector<Tensor> deserialize_tensors(const char* data, std::size_t size) {

@@ -38,6 +38,22 @@ GOLDFISH_HOT void serialize_tensors(const std::vector<Tensor>& ts,
 /// malformed or truncated input.
 std::vector<Tensor> deserialize_tensors(const char* data, std::size_t size);
 
+/// Append one "GFT1" tensor record (magic, rank, dims, raw float payload) to
+/// `out` *without* the count:u32 list framing — for callers embedding tensor
+/// records inside their own containers (the population cold store prefixes a
+/// client-state header, then writes dataset tensors record by record).
+/// serialize_tensors is exactly this per tensor, so embedded records are
+/// byte-identical to list entries.
+GOLDFISH_HOT void append_tensor_record(std::string& out, const Tensor& t);
+
+/// Parse one "GFT1" record at `data + *offset`, writing into `t` — storage
+/// is reused via Tensor::resize_uninit, so re-reading records of a shape the
+/// tensor has already held performs zero heap allocations (the pooled
+/// materialization fast path). Advances `*offset` past the record. Throws on
+/// malformed or truncated input.
+GOLDFISH_HOT void read_tensor_record_into(const char* data, std::size_t size,
+                                          std::size_t* offset, Tensor& t);
+
 /// Round-trip through an in-memory buffer; used by the FL transport to model
 /// the serialize-upload-deserialize path clients take in a real deployment.
 /// The wire buffer is thread_local and reused across calls.

@@ -1,0 +1,541 @@
+// The population subsystem (src/fl/population/): cold client-state store
+// spill/materialize round trips, content-addressed snapshot dedup and
+// refcounting, the two-tier hierarchical aggregator's bitwise equivalence
+// with flat aggregation, cohort enumeration, and the population-mode
+// engine's equivalence with the resident-mode engine — including the
+// deletion-on-a-cold-client eviction that must not force a materialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/engine.h"
+#include "fl/population/hierarchical.h"
+#include "fl/population/population.h"
+#include "nn/models.h"
+#include "tensor/serialize.h"
+
+namespace goldfish {
+namespace {
+
+bool snapshots_bitwise_equal(const std::vector<Tensor>& a,
+                             const std::vector<Tensor>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    if (!a[t].same_shape(b[t])) return false;
+    if (std::memcmp(a[t].data(), b[t].data(),
+                    a[t].numel() * sizeof(float)) != 0)
+      return false;
+  }
+  return true;
+}
+
+bool datasets_bitwise_equal(const data::Dataset& a, const data::Dataset& b) {
+  return a.num_classes == b.num_classes &&
+         a.geom.channels == b.geom.channels &&
+         a.geom.height == b.geom.height && a.geom.width == b.geom.width &&
+         a.labels == b.labels && a.features.same_shape(b.features) &&
+         std::memcmp(a.features.data(), b.features.data(),
+                     a.features.numel() * sizeof(float)) == 0;
+}
+
+struct Fed {
+  std::vector<data::Dataset> parts;
+  data::Dataset test;
+  nn::Model global;
+};
+
+Fed make_fed(long clients, long train_rows, long test_rows,
+             std::uint64_t seed) {
+  auto tt = data::make_synthetic(data::default_spec(
+      data::DatasetKind::Mnist, seed, train_rows, test_rows));
+  Rng rng(seed + 1);
+  Fed fed;
+  fed.parts = data::partition_iid(tt.train, clients, rng);
+  fed.test = std::move(tt.test);
+  fed.global = nn::make_mlp({1, 28, 28}, 16, 10, rng);
+  return fed;
+}
+
+fl::FlConfig fast_cfg() {
+  fl::FlConfig cfg;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 50;
+  cfg.local.lr = 0.05f;
+  return cfg;
+}
+
+fl::population::Population make_population(
+    const std::vector<data::Dataset>& parts) {
+  fl::population::Population pop;
+  for (const data::Dataset& p : parts) pop.clients.add(p);
+  return pop;
+}
+
+// -- cold client-state store -----------------------------------------------
+
+TEST(ClientStore, SpillMaterializeRoundTripIsByteIdentical) {
+  Fed fed = make_fed(3, 120, 30, 1101);
+  fl::population::ClientStateStore store;
+  for (const data::Dataset& p : fed.parts) store.add(p);
+  ASSERT_EQ(store.num_clients(), 3u);
+  EXPECT_EQ(store.resident_bytes(), 0u);
+  EXPECT_GT(store.cold_bytes(), 0u);
+
+  for (std::size_t c = 0; c < 3; ++c) {
+    const data::Dataset& m = store.materialize(c);
+    EXPECT_TRUE(store.resident(c));
+    ASSERT_TRUE(datasets_bitwise_equal(m, fed.parts[c]));
+    // Byte-identity of the embedded GFT1 record: serializing the
+    // round-tripped features reproduces the original bytes exactly.
+    std::string a, b;
+    serialize_tensors({fed.parts[c].features}, a);
+    serialize_tensors({m.features}, b);
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ(store.resident_clients(), 3u);
+  EXPECT_GT(store.resident_bytes(), 0u);
+  EXPECT_EQ(store.materializations(), 3u);
+  // Idempotent while resident: same slot, no new decode.
+  store.materialize(1);
+  EXPECT_EQ(store.materializations(), 3u);
+
+  store.release_all();
+  EXPECT_EQ(store.resident_bytes(), 0u);
+  EXPECT_EQ(store.resident_clients(), 0u);
+  EXPECT_GT(store.peak_resident_bytes(), 0u);
+  // Re-materialization after release decodes the same bytes again.
+  EXPECT_TRUE(datasets_bitwise_equal(store.materialize(0), fed.parts[0]));
+}
+
+TEST(ClientStore, TelemetryPatchesInPlaceAndSurvivesReplace) {
+  Fed fed = make_fed(2, 80, 20, 1102);
+  fl::population::ClientStateStore store;
+  store.add(fed.parts[0]);
+  const std::size_t before = store.record_bytes(0);
+
+  store.bump_tasks_started(0, 3);
+  store.bump_updates_aggregated(0, 2);
+  store.bump_bytes_uplinked(0, 4096);
+  store.set_last_version(0, 7);
+  // Telemetry patches never touch the tensor payload.
+  EXPECT_EQ(store.record_bytes(0), before);
+  auto t = store.telemetry(0);
+  EXPECT_EQ(t.tasks_started, 3);
+  EXPECT_EQ(t.updates_aggregated, 2);
+  EXPECT_EQ(t.bytes_uplinked, 4096u);
+  EXPECT_EQ(t.last_version, 7);
+
+  // replace() swaps the data but keeps the audit trail — without decoding
+  // the old record (the client is cold; materializations() stays 0).
+  store.replace(0, fed.parts[1]);
+  EXPECT_EQ(store.materializations(), 0u);
+  t = store.telemetry(0);
+  EXPECT_EQ(t.tasks_started, 3);
+  EXPECT_EQ(t.last_version, 7);
+  EXPECT_TRUE(datasets_bitwise_equal(store.materialize(0), fed.parts[1]));
+}
+
+// -- content-addressed snapshot store --------------------------------------
+
+TEST(SnapshotStore, DedupsIdenticalSnapshotsAndFreesAtZeroRefs) {
+  Rng rng(1201);
+  nn::Model m = nn::make_mlp({1, 4, 4}, 8, 2, rng);
+  const std::vector<Tensor> params = m.snapshot();
+
+  fl::population::SnapshotStore store;
+  const auto h1 = store.intern(params);
+  const auto h2 = store.intern(params);
+  EXPECT_EQ(h1.hash, h2.hash);
+  EXPECT_EQ(store.unique_snapshots(), 1u);
+  EXPECT_EQ(store.total_references(), 2u);
+  EXPECT_EQ(store.refcount(h1), 2);
+  EXPECT_EQ(store.interned_total(), 2u);
+  EXPECT_TRUE(snapshots_bitwise_equal(store.materialize(h1), params));
+
+  // Different content stores separately.
+  nn::Model other = nn::make_mlp({1, 4, 4}, 8, 2, rng);
+  const auto h3 = store.intern(other.snapshot());
+  EXPECT_EQ(store.unique_snapshots(), 2u);
+
+  store.release(h1);
+  EXPECT_EQ(store.refcount(h2), 1);
+  EXPECT_EQ(store.unique_snapshots(), 2u);
+  store.release(h2);
+  store.release(h3);
+  EXPECT_EQ(store.unique_snapshots(), 0u);
+  EXPECT_EQ(store.stored_bytes(), 0u);
+  EXPECT_EQ(store.refcount(h2), 0);
+  // Invalid handles are inert.
+  store.release(fl::population::SnapshotStore::Handle{});
+}
+
+// -- hierarchical aggregation ----------------------------------------------
+
+std::vector<fl::ClientUpdate> make_updates(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<fl::ClientUpdate> ups(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nn::Model m = nn::make_mlp({1, 4, 4}, 8, 3, rng);
+    ups[i].params = m.snapshot();
+    ups[i].dataset_size = static_cast<long>(10 + 7 * i);
+    ups[i].mse = 0.05 + 0.01 * double(i);
+    ups[i].staleness = static_cast<long>(i % 3);
+  }
+  return ups;
+}
+
+TEST(HierarchicalAggregator, BitwiseEqualsFlatForEveryEdgeSize) {
+  const auto ups = make_updates(7, 1301);
+  const std::vector<float> mults = {1.0f, 0.5f, 1.0f, 0.25f,
+                                    1.0f, 0.75f, 1.0f};
+  for (const char* base : {"fedavg", "uniform", "adaptive"}) {
+    const auto flat = fl::make_aggregator(base);
+    for (long edge : {1L, 2L, 3L, 8L, 64L}) {
+      fl::population::HierarchicalAggregator hier(fl::make_aggregator(base),
+                                                  edge);
+      EXPECT_TRUE(snapshots_bitwise_equal(hier.aggregate(ups),
+                                          flat->aggregate(ups)))
+          << base << " edge=" << edge;
+      EXPECT_TRUE(snapshots_bitwise_equal(hier.aggregate(ups, &mults),
+                                          flat->aggregate(ups, &mults)))
+          << base << " edge=" << edge << " (multipliers)";
+      EXPECT_GT(hier.edge_reductions(), 0u);
+    }
+  }
+}
+
+TEST(HierarchicalAggregator, RobustBasesDelegateWholesaleToTheRoot) {
+  const auto ups = make_updates(6, 1302);
+  fl::RobustConfig rc;
+  for (const char* base : {"krum", "trimmed-mean", "median", "norm-clip"}) {
+    const auto flat = fl::make_aggregator(base, rc);
+    rc.hier_edge = 2;
+    const auto hier = fl::make_aggregator(std::string("hier+") + base, rc);
+    EXPECT_TRUE(hier->capabilities().robust);
+    EXPECT_TRUE(
+        snapshots_bitwise_equal(hier->aggregate(ups), flat->aggregate(ups)))
+        << base;
+    // Selection/order statistics do not decompose per edge: the wrapper
+    // must not have run any edge reductions.
+    const auto& h =
+        dynamic_cast<const fl::population::HierarchicalAggregator&>(*hier);
+    EXPECT_EQ(h.edge_reductions(), 0u);
+  }
+}
+
+TEST(HierarchicalAggregator, RegistryComposesAndValidates) {
+  EXPECT_EQ(fl::make_aggregator("hier+fedavg")->name(), "hier+fedavg");
+  EXPECT_EQ(fl::make_aggregator("hier+hier+uniform")->name(),
+            "hier+hier+uniform");
+  EXPECT_THROW(fl::make_aggregator("hier+bogus"), CheckError);
+
+  Fed fed = make_fed(3, 90, 30, 1303);
+  fl::FlConfig cfg = fast_cfg();
+  cfg.aggregator = "hier+bogus";
+  EXPECT_THROW(fl::Engine(fed.global, fed.parts, fed.test, cfg),
+               std::invalid_argument);
+  cfg.aggregator = "hier+fedavg";
+  cfg.robust.hier_edge = 0;
+  EXPECT_THROW(fl::Engine(fed.global, fed.parts, fed.test, cfg),
+               std::invalid_argument);
+}
+
+// Engine-level: "hier+<base>" runs produce bit-identical models to the flat
+// base at 1/2/8 threads, across sampled, async and robust configurations.
+TEST(HierarchicalEngine, BitIdenticalToFlatAcrossThreadCounts) {
+  struct Config {
+    const char* base;
+    bool sampled;
+    double jitter;
+    double alpha;
+    long buffer;
+  };
+  const Config configs[] = {
+      {"fedavg", false, 0.0, 0.0, 0},    // synchronous barrier rounds
+      {"adaptive", true, 0.25, 0.5, 3},  // sampled + async + staleness
+      {"krum", false, 0.25, 0.5, 5},     // robust base, async
+  };
+  for (const Config& c : configs) {
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      Fed flat_fed = make_fed(6, 180, 40, 1401);
+      Fed hier_fed = make_fed(6, 180, 40, 1401);
+      fl::FlConfig cfg = fast_cfg();
+      cfg.threads = threads;
+      cfg.async.buffer_size = c.buffer;
+      cfg.async.staleness_alpha = c.alpha;
+      cfg.async.duration_log_jitter = c.jitter;
+      cfg.robust.hier_edge = 2;
+
+      cfg.aggregator = c.base;
+      fl::Engine flat(flat_fed.global, flat_fed.parts, flat_fed.test, cfg);
+      cfg.aggregator = std::string("hier+") + c.base;
+      fl::Engine hier(hier_fed.global, hier_fed.parts, hier_fed.test, cfg);
+
+      const auto scenario = [&](const fl::Engine& e) {
+        fl::Scenario s = e.async_scenario(4);
+        if (c.sampled)
+          s.participation =
+              std::make_unique<fl::SampledParticipation>(0.7, 99);
+        return s;
+      };
+      const auto a = flat.collect(scenario(flat));
+      const auto b = hier.collect(scenario(hier));
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(std::memcmp(&a[i].global_accuracy, &b[i].global_accuracy,
+                              sizeof(double)),
+                  0);
+        EXPECT_EQ(a[i].updates_consumed, b[i].updates_consumed);
+      }
+      EXPECT_TRUE(snapshots_bitwise_equal(flat.global_model().snapshot(),
+                                          hier.global_model().snapshot()))
+          << c.base << " threads=" << threads;
+    }
+  }
+}
+
+// -- cohort participation --------------------------------------------------
+
+TEST(CohortParticipation, DeterministicSortedDistinctAndConsistent) {
+  fl::CohortParticipation pol(8, 4242);
+  EXPECT_TRUE(pol.enumerates_cohort());
+  const std::vector<std::size_t> first = pol.cohort(3, 100);
+  ASSERT_EQ(first.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+  EXPECT_EQ(std::adjacent_find(first.begin(), first.end()), first.end());
+  // Cached and stable for the version.
+  EXPECT_EQ(pol.cohort(3, 100), first);
+  for (std::size_t c = 0; c < 100; ++c)
+    EXPECT_EQ(pol.participates(c, 3, 0.0),
+              std::binary_search(first.begin(), first.end(), c));
+  // A fresh policy with the same seed draws the same cohorts.
+  fl::CohortParticipation again(8, 4242);
+  EXPECT_EQ(again.cohort(3, 100), first);
+  // Different versions draw different cohorts (overwhelmingly likely).
+  EXPECT_NE(again.cohort(4, 100), first);
+  // Cohort clamps to the population.
+  fl::CohortParticipation wide(64, 7);
+  EXPECT_EQ(wide.cohort(0, 5).size(), 5u);
+  // Non-enumerating policies reject cohort().
+  fl::FullParticipation full;
+  EXPECT_FALSE(full.enumerates_cohort());
+  EXPECT_THROW(full.cohort(0, 10), std::logic_error);
+}
+
+/// The same membership function as CohortParticipation, exposed only
+/// through participates() — forcing the engine down its O(population)
+/// parked-rescan path. Used to pin that cohort *enumeration* changes the
+/// scheduling cost, never the schedule.
+class NonEnumeratingCohort final : public fl::ParticipationPolicy {
+ public:
+  NonEnumeratingCohort(std::size_t cohort_size, std::uint64_t seed,
+                       std::size_t num_clients)
+      : inner_(cohort_size, seed), n_(num_clients) {}
+  bool participates(std::size_t client, long version, double) override {
+    const auto& co = inner_.cohort(version, n_);
+    return std::binary_search(co.begin(), co.end(), client);
+  }
+  std::string name() const override { return "cohort-scan"; }
+
+ private:
+  fl::CohortParticipation inner_;
+  std::size_t n_;
+};
+
+TEST(CohortParticipation, EnumeratedScheduleMatchesMembershipScan) {
+  Fed a = make_fed(10, 200, 40, 1501);
+  Fed b = make_fed(10, 200, 40, 1501);
+  fl::FlConfig cfg = fast_cfg();
+  cfg.async.buffer_size = 3;
+  cfg.async.duration_log_jitter = 0.25;
+
+  fl::Engine enumerated(a.global, a.parts, a.test, cfg);
+  fl::Scenario s1 = enumerated.async_scenario(4);
+  s1.participation = std::make_unique<fl::CohortParticipation>(4, 77);
+  const auto r1 = enumerated.collect(std::move(s1));
+
+  fl::Engine scanned(b.global, b.parts, b.test, cfg);
+  fl::Scenario s2 = scanned.async_scenario(4);
+  s2.participation = std::make_unique<NonEnumeratingCohort>(4, 77, 10);
+  const auto r2 = scanned.collect(std::move(s2));
+
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].updates_consumed, r2[i].updates_consumed);
+    EXPECT_EQ(std::memcmp(&r1[i].global_accuracy, &r2[i].global_accuracy,
+                          sizeof(double)),
+              0);
+  }
+  EXPECT_TRUE(snapshots_bitwise_equal(enumerated.global_model().snapshot(),
+                                      scanned.global_model().snapshot()));
+}
+
+// -- population-mode engine ------------------------------------------------
+
+TEST(PopulationEngine, MatchesResidentEngineBitForBit) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    Fed ra = make_fed(6, 180, 40, 1601);
+    Fed rb = make_fed(6, 180, 40, 1601);
+    fl::FlConfig cfg = fast_cfg();
+    cfg.threads = threads;
+    cfg.async.buffer_size = 3;
+    cfg.async.duration_log_jitter = 0.25;
+    cfg.async.staleness_alpha = 0.5;
+
+    fl::Engine resident(ra.global, ra.parts, ra.test, cfg);
+    fl::Engine populated(rb.global, make_population(rb.parts), rb.test, cfg);
+    EXPECT_EQ(populated.num_clients(), 6u);
+
+    const auto scenario = [&](const fl::Engine& e) {
+      fl::Scenario s = e.async_scenario(4);
+      s.participation = std::make_unique<fl::CohortParticipation>(4, 11);
+      return s;
+    };
+    const auto a = resident.collect(scenario(resident));
+    const auto b = populated.collect(scenario(populated));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&a[i].global_accuracy, &b[i].global_accuracy,
+                            sizeof(double)),
+                0);
+      EXPECT_EQ(a[i].updates_consumed, b[i].updates_consumed);
+      EXPECT_EQ(a[i].bytes_uplinked, b[i].bytes_uplinked);
+    }
+    EXPECT_TRUE(snapshots_bitwise_equal(resident.global_model().snapshot(),
+                                        populated.global_model().snapshot()))
+        << "threads=" << threads;
+
+    // End of run: every cohort slot returned, only referenced versions
+    // remain pinned in the snapshot store.
+    auto* pop = populated.population();
+    ASSERT_NE(pop, nullptr);
+    EXPECT_EQ(pop->clients.resident_bytes(), 0u);
+    EXPECT_GT(pop->clients.materializations(), 0u);
+    EXPECT_GE(pop->snapshots.total_references(), 1u);
+  }
+}
+
+TEST(PopulationEngine, DurableStateAndTelemetryCommit) {
+  Fed fed = make_fed(5, 150, 40, 1602);
+  fl::FlConfig cfg = fast_cfg();
+  fl::Engine eng(fed.global, make_population(fed.parts), fed.test, cfg);
+  auto steps = eng.collect(eng.sync_scenario(2));
+  ASSERT_EQ(steps.size(), 2u);
+
+  auto* pop = eng.population();
+  std::size_t started = 0, aggregated = 0;
+  for (std::size_t c = 0; c < eng.num_clients(); ++c) {
+    const auto t = pop->clients.telemetry(c);
+    started += static_cast<std::size_t>(t.tasks_started);
+    aggregated += static_cast<std::size_t>(t.updates_aggregated);
+    EXPECT_GT(t.bytes_uplinked, 0u);
+    EXPECT_GE(t.last_version, 1L);
+  }
+  EXPECT_EQ(aggregated, 10u);  // 2 barrier rounds × 5 clients
+  EXPECT_GE(started, aggregated);
+  // All five clients downloaded the same final version: one deduped
+  // snapshot, five references.
+  EXPECT_EQ(pop->snapshots.unique_snapshots(), 1u);
+  EXPECT_EQ(pop->snapshots.total_references(), 5u);
+  // client_data() is a resident-mode API.
+  EXPECT_THROW(eng.client_data(0), CheckError);
+}
+
+TEST(PopulationEngine, DeletionOnColdClientEvictsWithoutMaterializing) {
+  Fed fed = make_fed(6, 180, 40, 1603);
+  fl::FlConfig cfg = fast_cfg();
+  fl::Engine eng(fed.global, make_population(fed.parts), fed.test, cfg);
+  auto* pop = eng.population();
+
+  // Round 1: a 3-client cohort trains; the other clients stay cold.
+  fl::Scenario s = eng.async_scenario(1);
+  s.participation = std::make_unique<fl::CohortParticipation>(3, 5);
+  s.buffer = std::make_unique<fl::FixedBuffer>(3);
+  eng.collect(std::move(s));
+  const std::size_t decoded = pop->clients.materializations();
+  EXPECT_EQ(decoded, 3u);
+
+  // Find a client that never materialized.
+  std::size_t cold = 0;
+  for (std::size_t c = 0; c < eng.num_clients(); ++c)
+    if (pop->clients.telemetry(c).tasks_started == 0) cold = c;
+  const std::size_t bytes_before = pop->clients.record_bytes(cold);
+
+  // A zero-aggregation run whose only event deletes the cold client's rows:
+  // the record is re-spilled and its snapshot references dropped WITHOUT
+  // decoding a single tensor.
+  fl::Scenario del;
+  del.aggregations = 0;
+  del.deletions.push_back(
+      {0.0, cold, fed.parts[cold].subset({0, 1, 2, 3, 4})});
+  eng.collect(std::move(del));
+  EXPECT_EQ(pop->clients.materializations(), decoded);  // no new decodes
+  EXPECT_LT(pop->clients.record_bytes(cold), bytes_before);
+  EXPECT_TRUE(datasets_bitwise_equal(pop->clients.materialize(cold),
+                                     fed.parts[cold].subset({0, 1, 2, 3, 4})));
+}
+
+TEST(PopulationEngine, SnapshotRefcountsReachZeroAfterDeletionEvents) {
+  Fed fed = make_fed(4, 120, 30, 1604);
+  fl::FlConfig cfg = fast_cfg();
+  fl::Engine eng(fed.global, make_population(fed.parts), fed.test, cfg);
+  auto* pop = eng.population();
+  eng.collect(eng.sync_scenario(1));
+  EXPECT_EQ(pop->snapshots.unique_snapshots(), 1u);
+  EXPECT_EQ(pop->snapshots.total_references(), 4u);
+
+  // Delete every client's data: each commit drops the departed replica's
+  // reference, and the last drop frees the deduped buffer entirely.
+  fl::Scenario del;
+  del.aggregations = 0;
+  for (std::size_t c = 0; c < 4; ++c)
+    del.deletions.push_back({0.0, c, fed.parts[c].subset({0, 1, 2})});
+  eng.collect(std::move(del));
+  EXPECT_EQ(pop->snapshots.total_references(), 0u);
+  EXPECT_EQ(pop->snapshots.unique_snapshots(), 0u);
+  EXPECT_EQ(pop->snapshots.stored_bytes(), 0u);
+}
+
+TEST(PopulationEngine, JoinsFlipsAndLeavesMatchResidentMode) {
+  Fed ra = make_fed(4, 160, 40, 1605);
+  Fed rb = make_fed(4, 160, 40, 1605);
+  auto joiner_a = ra.parts[0].subset({0, 1, 2, 3, 4, 5});
+  auto joiner_b = rb.parts[0].subset({0, 1, 2, 3, 4, 5});
+  fl::FlConfig cfg = fast_cfg();
+
+  fl::Engine resident(ra.global, ra.parts, ra.test, cfg);
+  fl::Engine populated(rb.global, make_population(rb.parts), rb.test, cfg);
+
+  const auto scenario = [](const fl::Engine& e, data::Dataset joiner) {
+    fl::Scenario s = e.sync_scenario(3, /*local_accuracy=*/false);
+    s.joins.push_back({1.5, std::move(joiner)});
+    s.label_flips.push_back({1.5, 1});
+    s.leaves.push_back({2.5, 2});
+    return s;
+  };
+  const auto a = resident.collect(scenario(resident, std::move(joiner_a)));
+  const auto b = populated.collect(scenario(populated, std::move(joiner_b)));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(std::memcmp(&a[i].global_accuracy, &b[i].global_accuracy,
+                          sizeof(double)),
+              0);
+  EXPECT_TRUE(snapshots_bitwise_equal(resident.global_model().snapshot(),
+                                      populated.global_model().snapshot()));
+  // Joins are durable in both modes; the flipped dataset committed to the
+  // cold store matches the resident engine's durable copy bit for bit.
+  ASSERT_EQ(populated.num_clients(), resident.num_clients());
+  auto* pop = populated.population();
+  for (std::size_t c = 0; c < resident.num_clients(); ++c)
+    EXPECT_TRUE(datasets_bitwise_equal(pop->clients.materialize(c),
+                                       resident.client_data(c)))
+        << "client " << c;
+}
+
+}  // namespace
+}  // namespace goldfish
